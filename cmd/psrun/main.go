@@ -1,0 +1,98 @@
+// Command psrun executes a PS module with JSON inputs and prints its
+// results as JSON.
+//
+// Usage:
+//
+//	psrun [-module name] [-workers N] [-seq] [-strict] [-in inputs.json] file.ps
+//
+// The input file maps parameter names to values: scalars as JSON numbers
+// or booleans, arrays as (nested) JSON lists. Array parameter bounds are
+// taken from the declared dimensions, so scalar size parameters must be
+// consistent with the array data, e.g. for the relaxation module:
+//
+//	{"InitialA": [[0,0,0,0],[0,1,2,0],[0,3,4,0],[0,0,0,0]], "M": 2, "maxK": 8}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/ps"
+)
+
+func main() {
+	module := flag.String("module", "", "module to run (default: last in file)")
+	workers := flag.Int("workers", 0, "DOALL workers (0 = all CPUs)")
+	seq := flag.Bool("seq", false, "force sequential execution")
+	strict := flag.Bool("strict", false, "enable single-assignment checking")
+	inFile := flag.String("in", "", "JSON file with parameter values (default: {} )")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: psrun [flags] file.ps")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := ps.CompileProgram(flag.Arg(0), string(src))
+	if err != nil {
+		fatal(err)
+	}
+	names := prog.Modules()
+	name := *module
+	if name == "" {
+		name = names[len(names)-1]
+	}
+	m := prog.Module(name)
+	if m == nil {
+		fatal(fmt.Errorf("psrun: no module %s (have %v)", name, names))
+	}
+
+	inputs := map[string]json.RawMessage{}
+	if *inFile != "" {
+		data, err := os.ReadFile(*inFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := json.Unmarshal(data, &inputs); err != nil {
+			fatal(fmt.Errorf("psrun: parsing %s: %w", *inFile, err))
+		}
+	}
+
+	args, err := ps.ArgsFromJSON(prog, name, inputs)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := []ps.RunOption{ps.Workers(*workers)}
+	if *seq {
+		opts = append(opts, ps.Sequential())
+	}
+	if *strict {
+		opts = append(opts, ps.Strict())
+	}
+	results, err := prog.Run(name, args, opts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	out, err := ps.ResultsToJSON(prog, name, results)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command-level integration tests: drive psc and psrun the way a user
+// would, against the testdata sources.
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runGo(t *testing.T, stdin string, args ...string) (string, string, error) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = "."
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	return out.String(), errb.String(), err
+}
+
+// TestPscFlowchart drives psc -dump flowchart on the Figure 1 source.
+func TestPscFlowchart(t *testing.T) {
+	out, errOut, err := runGo(t, "", "./cmd/psc", "-dump", "flowchart", "testdata/relaxation.ps")
+	if err != nil {
+		t.Fatalf("psc: %v\n%s", err, errOut)
+	}
+	for _, want := range []string{"DOALL I (", "DO K (", "eq.3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("flowchart output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPscC drives C generation from the CLI.
+func TestPscC(t *testing.T) {
+	out, errOut, err := runGo(t, "", "./cmd/psc", "-dump", "c", "-openmp", "testdata/relaxation.ps")
+	if err != nil {
+		t.Fatalf("psc: %v\n%s", err, errOut)
+	}
+	for _, want := range []string{"Relaxation_result", "#pragma omp parallel for", "/* DO K */"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("C output missing %q", want)
+		}
+	}
+}
+
+// TestPscTransform drives the §4 rewrite from the CLI.
+func TestPscTransform(t *testing.T) {
+	out, errOut, err := runGo(t, "", "./cmd/psc", "-transform", "eq.3", "testdata/gauss_seidel.ps")
+	if err != nil {
+		t.Fatalf("psc: %v\n%s", err, errOut)
+	}
+	for _, want := range []string{"time vector [2 1 1]", "RelaxationH", "At[Kt - 2,K - 1,I]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transform output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPsrunJSON drives execution with JSON inputs.
+func TestPsrunJSON(t *testing.T) {
+	out, errOut, err := runGo(t, "",
+		"./cmd/psrun", "-in", "testdata/smooth_inputs.json", "testdata/smooth.ps")
+	if err != nil {
+		t.Fatalf("psrun: %v\n%s", err, errOut)
+	}
+	var result map[string][]float64
+	if jerr := json.Unmarshal([]byte(out), &result); jerr != nil {
+		t.Fatalf("output is not JSON: %v\n%s", jerr, out)
+	}
+	ys := result["Ys"]
+	if len(ys) != 8 {
+		t.Fatalf("Ys has %d elements: %v", len(ys), ys)
+	}
+	if ys[0] != 0 || ys[7] != 49 {
+		t.Errorf("boundary not carried: %v", ys)
+	}
+	if ys[1] != (0.0+1+4)/3 {
+		t.Errorf("Ys[1] = %v", ys[1])
+	}
+}
+
+// TestPsreproOneArtifact drives the figure reproducer.
+func TestPsreproOneArtifact(t *testing.T) {
+	out, errOut, err := runGo(t, "", "./cmd/psrepro", "-only", "fig5")
+	if err != nil {
+		t.Fatalf("psrepro: %v\n%s", err, errOut)
+	}
+	for _, want := range []string{"A, eq.3", "DO K (DOALL I (DOALL J (eq.3)))"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig5 output missing %q:\n%s", want, out)
+		}
+	}
+}

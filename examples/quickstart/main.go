@@ -1,0 +1,54 @@
+// Quickstart: compile a tiny PS module, inspect the schedule the
+// compiler derives, and run it in parallel.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/ps"
+)
+
+// A one-pass smoothing filter: no recurrence, so the scheduler emits a
+// single parallel (DOALL) loop.
+const source = `
+Smooth: module (Xs: array[I] of real; N: int): [Ys: array [I] of real];
+type
+    I = 0 .. N+1;
+define
+    Ys[I] = if (I = 0) or (I = N+1)
+            then Xs[I]
+            else (Xs[I-1] + Xs[I] + Xs[I+1]) / 3.0;
+end Smooth;
+`
+
+func main() {
+	prog, err := ps.CompileProgram("smooth.ps", source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := prog.Module("Smooth")
+
+	fmt.Println("== schedule (flowchart) ==")
+	fmt.Print(m.Flowchart())
+
+	// Build an input signal 0², 1², 2², ...
+	n := int64(10)
+	xs := ps.NewRealArray(ps.Axis{Lo: 0, Hi: n + 1})
+	for i := int64(0); i <= n+1; i++ {
+		xs.SetF([]int64{i}, float64(i*i))
+	}
+
+	out, err := prog.Run("Smooth", []any{xs, n}, ps.Workers(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ys := out[0].(*ps.Array)
+
+	fmt.Println("== result ==")
+	for i := int64(0); i <= n+1; i++ {
+		fmt.Printf("Ys[%2d] = %8.3f\n", i, ys.GetF([]int64{i}))
+	}
+}

@@ -1,0 +1,356 @@
+// Package ast declares the abstract syntax tree for PS programs.
+//
+// A PS program is a set of module declarations. A module has typed input
+// parameters and results, Pascal-like type and var sections, and a define
+// section of order-free equations (paper §2, Figure 1):
+//
+//	Relaxation: module (InitialA: array[I,J] of real; M: int; maxK: int):
+//	    [newA: array[I,J] of real];
+//	type
+//	    I,J = 0 .. M+1;  K = 2 .. maxK;
+//	var A: array [1 .. maxK] of array[I,J] of real;
+//	define
+//	    A[1] = InitialA;
+//	    newA = A[maxK];
+//	    A[K,I,J] = if ... then ... else ...;
+//	end Relaxation;
+package ast
+
+import (
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() source.Pos
+	End() source.Pos
+}
+
+// Expr is implemented by expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// TypeExpr is implemented by type-denoting nodes.
+type TypeExpr interface {
+	Node
+	typeExprNode()
+}
+
+// ---------------------------------------------------------------- Expressions
+
+// Ident is a use of a name.
+type Ident struct {
+	Name    string
+	NamePos source.Pos
+	NameEnd source.Pos
+}
+
+func (x *Ident) Pos() source.Pos { return x.NamePos }
+func (x *Ident) End() source.Pos { return x.NameEnd }
+func (x *Ident) exprNode()       {}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value  int64
+	Lit    string
+	LitPos source.Pos
+	LitEnd source.Pos
+}
+
+func (x *IntLit) Pos() source.Pos { return x.LitPos }
+func (x *IntLit) End() source.Pos { return x.LitEnd }
+func (x *IntLit) exprNode()       {}
+
+// RealLit is a floating point literal.
+type RealLit struct {
+	Value  float64
+	Lit    string
+	LitPos source.Pos
+	LitEnd source.Pos
+}
+
+func (x *RealLit) Pos() source.Pos { return x.LitPos }
+func (x *RealLit) End() source.Pos { return x.LitEnd }
+func (x *RealLit) exprNode()       {}
+
+// BoolLit is `true` or `false`.
+type BoolLit struct {
+	Value  bool
+	LitPos source.Pos
+	LitEnd source.Pos
+}
+
+func (x *BoolLit) Pos() source.Pos { return x.LitPos }
+func (x *BoolLit) End() source.Pos { return x.LitEnd }
+func (x *BoolLit) exprNode()       {}
+
+// StringLit is a quoted string literal; CharLit a single-character one.
+type StringLit struct {
+	Value  string
+	LitPos source.Pos
+	LitEnd source.Pos
+}
+
+func (x *StringLit) Pos() source.Pos { return x.LitPos }
+func (x *StringLit) End() source.Pos { return x.LitEnd }
+func (x *StringLit) exprNode()       {}
+
+// CharLit is a single character literal.
+type CharLit struct {
+	Value  rune
+	LitPos source.Pos
+	LitEnd source.Pos
+}
+
+func (x *CharLit) Pos() source.Pos { return x.LitPos }
+func (x *CharLit) End() source.Pos { return x.LitEnd }
+func (x *CharLit) exprNode()       {}
+
+// Binary is a binary operation X op Y.
+type Binary struct {
+	Op token.Kind
+	X  Expr
+	Y  Expr
+}
+
+func (x *Binary) Pos() source.Pos { return x.X.Pos() }
+func (x *Binary) End() source.Pos { return x.Y.End() }
+func (x *Binary) exprNode()       {}
+
+// Unary is a unary operation op X (-, +, not).
+type Unary struct {
+	Op    token.Kind
+	OpPos source.Pos
+	X     Expr
+}
+
+func (x *Unary) Pos() source.Pos { return x.OpPos }
+func (x *Unary) End() source.Pos { return x.X.End() }
+func (x *Unary) exprNode()       {}
+
+// Paren is a parenthesized expression.
+type Paren struct {
+	LP source.Pos
+	X  Expr
+	RP source.Pos
+}
+
+func (x *Paren) Pos() source.Pos { return x.LP }
+func (x *Paren) End() source.Pos { return x.RP }
+func (x *Paren) exprNode()       {}
+
+// IfExpr is a conditional expression: if c then a [elsif c2 then b]... else z.
+// PS if is an expression, not a statement; the else arm is mandatory.
+type IfExpr struct {
+	IfPos source.Pos
+	Cond  Expr
+	Then  Expr
+	Elifs []ElseIf
+	Else  Expr
+}
+
+// ElseIf is one `elsif cond then expr` arm.
+type ElseIf struct {
+	Cond Expr
+	Then Expr
+}
+
+func (x *IfExpr) Pos() source.Pos { return x.IfPos }
+func (x *IfExpr) End() source.Pos { return x.Else.End() }
+func (x *IfExpr) exprNode()       {}
+
+// Index is a subscripted reference A[e1, e2, ...]. Multi-dimensional
+// subscripts may also be written A[e1][e2]; the parser flattens both forms.
+type Index struct {
+	Base   Expr
+	Lbrack source.Pos
+	Subs   []Expr
+	Rbrack source.Pos
+}
+
+func (x *Index) Pos() source.Pos { return x.Base.Pos() }
+func (x *Index) End() source.Pos { return x.Rbrack }
+func (x *Index) exprNode()       {}
+
+// Field is a record field selection base.field.
+type Field struct {
+	Base Expr
+	Sel  *Ident
+}
+
+func (x *Field) Pos() source.Pos { return x.Base.Pos() }
+func (x *Field) End() source.Pos { return x.Sel.End() }
+func (x *Field) exprNode()       {}
+
+// Call is a function application f(args): a builtin (abs, min, sqrt, ...)
+// or an invocation of another module.
+type Call struct {
+	Fun    *Ident
+	Lparen source.Pos
+	Args   []Expr
+	Rparen source.Pos
+}
+
+func (x *Call) Pos() source.Pos { return x.Fun.Pos() }
+func (x *Call) End() source.Pos { return x.Rparen }
+func (x *Call) exprNode()       {}
+
+// ------------------------------------------------------------- Type syntax
+
+// TypeName refers to a declared or builtin type by name.
+type TypeName struct {
+	Name *Ident
+}
+
+func (t *TypeName) Pos() source.Pos { return t.Name.Pos() }
+func (t *TypeName) End() source.Pos { return t.Name.End() }
+func (t *TypeName) typeExprNode()   {}
+
+// SubrangeType is lo .. hi. Bounds are expressions over constants and
+// scalar module parameters (e.g. 0 .. M+1).
+type SubrangeType struct {
+	Lo Expr
+	Hi Expr
+}
+
+func (t *SubrangeType) Pos() source.Pos { return t.Lo.Pos() }
+func (t *SubrangeType) End() source.Pos { return t.Hi.End() }
+func (t *SubrangeType) typeExprNode()   {}
+
+// ArrayType is array [d1, d2, ...] of Elem. Each dimension is either a
+// named subrange type (array [I,J] of real) or an anonymous subrange
+// (array [1 .. maxK] of ...).
+type ArrayType struct {
+	ArrayPos source.Pos
+	Dims     []TypeExpr
+	Elem     TypeExpr
+}
+
+func (t *ArrayType) Pos() source.Pos { return t.ArrayPos }
+func (t *ArrayType) End() source.Pos { return t.Elem.End() }
+func (t *ArrayType) typeExprNode()   {}
+
+// RecordType is record f1: T1; f2, f3: T2 end.
+type RecordType struct {
+	RecordPos source.Pos
+	Fields    []*FieldDecl
+	EndPos    source.Pos
+}
+
+// FieldDecl declares one or more record fields of a common type.
+type FieldDecl struct {
+	Names []*Ident
+	Type  TypeExpr
+}
+
+func (t *RecordType) Pos() source.Pos { return t.RecordPos }
+func (t *RecordType) End() source.Pos { return t.EndPos }
+func (t *RecordType) typeExprNode()   {}
+
+// EnumType is an enumeration (red, green, blue).
+type EnumType struct {
+	Lparen source.Pos
+	Names  []*Ident
+	Rparen source.Pos
+}
+
+func (t *EnumType) Pos() source.Pos { return t.Lparen }
+func (t *EnumType) End() source.Pos { return t.Rparen }
+func (t *EnumType) typeExprNode()   {}
+
+// ------------------------------------------------------------ Declarations
+
+// Program is a compilation unit: one or more modules.
+type Program struct {
+	Modules []*Module
+}
+
+func (p *Program) Pos() source.Pos {
+	if len(p.Modules) > 0 {
+		return p.Modules[0].Pos()
+	}
+	return source.Pos{}
+}
+
+func (p *Program) End() source.Pos {
+	if n := len(p.Modules); n > 0 {
+		return p.Modules[n-1].End()
+	}
+	return source.Pos{}
+}
+
+// Module is one PS module declaration.
+type Module struct {
+	Name    *Ident
+	Params  []*Param // inputs
+	Results []*Param // outputs, written in brackets in the header
+	Types   []*TypeDecl
+	Vars    []*VarDecl
+	Eqs     []*Equation
+	EndPos  source.Pos
+}
+
+func (m *Module) Pos() source.Pos { return m.Name.Pos() }
+func (m *Module) End() source.Pos { return m.EndPos }
+
+// Param declares one or more parameters or results of a common type.
+type Param struct {
+	Names []*Ident
+	Type  TypeExpr
+}
+
+func (p *Param) Pos() source.Pos { return p.Names[0].Pos() }
+func (p *Param) End() source.Pos { return p.Type.End() }
+
+// TypeDecl declares one or more named types of a common definition,
+// e.g. `I,J = 0 .. M+1;`.
+type TypeDecl struct {
+	Names []*Ident
+	Type  TypeExpr
+}
+
+func (d *TypeDecl) Pos() source.Pos { return d.Names[0].Pos() }
+func (d *TypeDecl) End() source.Pos { return d.Type.End() }
+
+// VarDecl declares one or more local variables of a common type.
+type VarDecl struct {
+	Names []*Ident
+	Type  TypeExpr
+}
+
+func (d *VarDecl) Pos() source.Pos { return d.Names[0].Pos() }
+func (d *VarDecl) End() source.Pos { return d.Type.End() }
+
+// Equation is one defining equation LHS = RHS. The left hand side is a
+// single target or a list of targets (for multi-valued right hand sides);
+// each target may be subscripted (A[K,I,J] = ...).
+type Equation struct {
+	Targets []*Target
+	RHS     Expr
+	// Label is an optional display name such as "eq.3"; the parser fills
+	// it from a preceding (*eq.N*) comment if present, else the scheduler
+	// assigns eq.<ordinal>.
+	Label string
+}
+
+func (e *Equation) Pos() source.Pos { return e.Targets[0].Pos() }
+func (e *Equation) End() source.Pos { return e.RHS.End() }
+
+// Target is one left-hand-side item: a variable with optional subscripts.
+type Target struct {
+	Name      *Ident
+	Subs      []Expr // nil for unsubscripted targets
+	RbrackEnd source.Pos
+}
+
+func (t *Target) Pos() source.Pos { return t.Name.Pos() }
+
+func (t *Target) End() source.Pos {
+	if len(t.Subs) > 0 {
+		return t.RbrackEnd
+	}
+	return t.Name.End()
+}

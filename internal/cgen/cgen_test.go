@@ -1,0 +1,200 @@
+package cgen_test
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/cgen"
+	"repro/internal/core"
+	"repro/internal/depgraph"
+	"repro/internal/interp"
+	"repro/internal/parser"
+	"repro/internal/psrc"
+	"repro/internal/sem"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+func generate(t *testing.T, src, modName string, opts cgen.Options) (string, *sem.Module, *core.Schedule) {
+	t.Helper()
+	prog, err := parser.ParseProgram("t.ps", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cp, err := sem.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	m := cp.Module(modName)
+	sched, err := core.Build(depgraph.Build(m))
+	if err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	c, err := cgen.Generate(m, sched, opts)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return c, m, sched
+}
+
+// TestGeneratedCShape checks the structural properties the paper
+// describes: annotated DO/DOALL loops and the window-2 allocation.
+func TestGeneratedCShape(t *testing.T) {
+	c, _, _ := generate(t, psrc.Relaxation, "Relaxation", cgen.Options{OpenMP: true})
+	for _, want := range []string{
+		"Relaxation_result Relaxation(const double *InitialA, long M, long maxK)",
+		"/* DOALL I */",
+		"/* DOALL J */",
+		"/* DO K */",
+		"#pragma omp parallel for",
+		"const long A_d0_n = 2; /* virtual: window of 2 planes */",
+		"for (long K = K_lo; K <= K_hi; K++) {",
+		"%% A_d0_n", // modular window addressing
+	} {
+		probe := strings.ReplaceAll(want, "%%", "%")
+		if !strings.Contains(c, probe) {
+			t.Errorf("generated C missing %q\n%s", probe, c)
+		}
+	}
+	// The iterative K loop must contain the two parallel loops.
+	kAt := strings.Index(c, "/* DO K */")
+	iAt := strings.Index(c[kAt:], "/* DOALL I */")
+	if kAt < 0 || iAt < 0 {
+		t.Error("DO K does not enclose DOALL I")
+	}
+}
+
+// TestGeneratedCNoVirtual checks the ablation path: full allocation.
+func TestGeneratedCNoVirtual(t *testing.T) {
+	c, _, _ := generate(t, psrc.Relaxation, "Relaxation", cgen.Options{NoVirtual: true})
+	if strings.Contains(c, "virtual: window") {
+		t.Error("NoVirtual output still contains a window allocation")
+	}
+	if !strings.Contains(c, "const long A_d0_n = A_d0_hi - A_d0_lo + 1;") {
+		t.Error("NoVirtual output missing physical plane count")
+	}
+}
+
+// TestCompiledCMatchesInterpreter generates C for the relaxation module,
+// compiles it with the system C compiler, runs it, and compares every
+// element against the interpreter — validating the paper's actual
+// artifact end to end. Skipped when no C compiler is installed.
+func TestCompiledCMatchesInterpreter(t *testing.T) {
+	ccPath, err := exec.LookPath("cc")
+	if err != nil {
+		t.Skip("no C compiler in PATH")
+	}
+	const m, maxK = 8, 5
+	cSrc, mod, sched := generate(t, psrc.Relaxation, "Relaxation", cgen.Options{})
+	_ = mod
+	_ = sched
+
+	main := fmt.Sprintf(`
+#include <stdio.h>
+int main(void) {
+    long M = %d, maxK = %d;
+    long n = (M+2)*(M+2);
+    double *in = malloc(sizeof(double)*n);
+    for (long i = 0; i <= M+1; i++)
+        for (long j = 0; j <= M+1; j++) {
+            double v = 0;
+            if (i > 0 && i <= M && j > 0 && j <= M) v = (double)((i*31+j*17)%%19)/19.0;
+            in[i*(M+2)+j] = v;
+        }
+    Relaxation_result r = Relaxation(in, M, maxK);
+    for (long i = 0; i < n; i++) printf("%%.17g\n", r.newA[i]);
+    return 0;
+}
+`, m, maxK)
+
+	dir := t.TempDir()
+	cFile := filepath.Join(dir, "relax.c")
+	if err := os.WriteFile(cFile, []byte(cSrc+main), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "relax")
+	out, err := exec.Command(ccPath, "-O2", "-o", bin, cFile, "-lm").CombinedOutput()
+	if err != nil {
+		t.Fatalf("cc failed: %v\n%s\n--- generated C ---\n%s", err, out, cSrc)
+	}
+	got, err := exec.Command(bin).Output()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	// Interpreter reference.
+	prog, _ := parser.ParseProgram("t.ps", psrc.Relaxation)
+	cp, _ := sem.Check(prog)
+	ip, err := interp.Compile(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := value.NewArray(types.RealKind, []value.Axis{{Lo: 0, Hi: m + 1}, {Lo: 0, Hi: m + 1}})
+	for i := int64(0); i <= m+1; i++ {
+		for j := int64(0); j <= m+1; j++ {
+			var v float64
+			if i > 0 && i <= m && j > 0 && j <= m {
+				v = float64((i*31+j*17)%19) / 19.0
+			}
+			in.SetF([]int64{i, j}, v)
+		}
+	}
+	res, err := ip.Run("Relaxation", []any{in, m, maxK}, interp.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res[0].(*value.Array)
+
+	lines := strings.Fields(strings.TrimSpace(string(got)))
+	if len(lines) != int((m+2)*(m+2)) {
+		t.Fatalf("C binary printed %d values, want %d", len(lines), (m+2)*(m+2))
+	}
+	k := 0
+	for i := int64(0); i <= m+1; i++ {
+		for j := int64(0); j <= m+1; j++ {
+			cv, err := strconv.ParseFloat(lines[k], 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", lines[k], err)
+			}
+			iv := want.GetF([]int64{i, j})
+			if cv != iv {
+				t.Fatalf("element [%d,%d]: C %g, interpreter %g", i, j, cv, iv)
+			}
+			k++
+		}
+	}
+}
+
+// TestGeneratedCPipeline checks module-call code generation.
+func TestGeneratedCPipeline(t *testing.T) {
+	prog, err := parser.ParseProgram("t.ps", psrc.Pipeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := sem.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full strings.Builder
+	for _, name := range []string{"Smooth", "Pipeline"} {
+		m := cp.Module(name)
+		sched, err := core.Build(depgraph.Build(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := cgen.Generate(m, sched, cgen.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full.WriteString(c)
+	}
+	out := full.String()
+	if !strings.Contains(out, "Smooth_result") || !strings.Contains(out, "= Smooth(") {
+		t.Errorf("pipeline C missing module call:\n%s", out)
+	}
+}

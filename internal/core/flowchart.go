@@ -1,0 +1,142 @@
+// Package core implements the scheduling phase of the PS compiler — the
+// paper's primary contribution (§3.2–3.4). The scheduler consumes a
+// module's dependency graph and produces a flowchart: a recursive list of
+// descriptors giving the execution order of equations and the loop nests
+// (iterative DO or parallel DOALL) enclosing them. It also performs the
+// virtual-dimension analysis that lets the code generator allocate a
+// sliding window instead of a whole array dimension.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/depgraph"
+	"repro/internal/types"
+)
+
+// Descriptor is one flowchart entry (paper Figure 4): either a dependency
+// graph node or a subrange loop enclosing nested descriptors.
+type Descriptor interface {
+	fc(sb *strings.Builder, indent int)
+}
+
+// Flowchart is an ordered list of descriptors.
+type Flowchart []Descriptor
+
+// NodeDesc schedules one dependency-graph node: the code generator emits
+// the data item's declaration or the equation's assignment.
+type NodeDesc struct {
+	Node *depgraph.Node
+}
+
+func (d *NodeDesc) fc(sb *strings.Builder, indent int) {
+	pad(sb, indent)
+	sb.WriteString(d.Node.Name)
+	sb.WriteByte('\n')
+}
+
+// LoopDesc schedules a for loop over a subrange. Parallel loops are
+// DOALLs: every iteration is independent and may execute concurrently.
+// Iterative loops are DOs: constant-offset recurrences force ascending
+// order.
+type LoopDesc struct {
+	Subrange *types.Subrange
+	Parallel bool
+	Body     Flowchart
+	// Deleted records the "I - constant" edges removed when this loop was
+	// formed (paper §3.3 step 4); non-empty exactly when the loop is
+	// iterative.
+	Deleted []*depgraph.Edge
+}
+
+func (d *LoopDesc) fc(sb *strings.Builder, indent int) {
+	pad(sb, indent)
+	if d.Parallel {
+		sb.WriteString("DOALL ")
+	} else {
+		sb.WriteString("DO ")
+	}
+	sb.WriteString(d.Subrange.Name)
+	sb.WriteString(" (\n")
+	for _, b := range d.Body {
+		b.fc(sb, indent+1)
+	}
+	pad(sb, indent)
+	sb.WriteString(")\n")
+}
+
+func pad(sb *strings.Builder, indent int) {
+	for i := 0; i < indent; i++ {
+		sb.WriteString("    ")
+	}
+}
+
+// String renders the flowchart in the paper's Figure 6/7 style.
+func (f Flowchart) String() string {
+	var sb strings.Builder
+	for _, d := range f {
+		d.fc(&sb, 0)
+	}
+	return sb.String()
+}
+
+// Compact renders the flowchart on one line, e.g.
+// "DO K (DOALL I (DOALL J (eq.3)))".
+func (f Flowchart) Compact() string {
+	parts := make([]string, 0, len(f))
+	for _, d := range f {
+		parts = append(parts, compactDesc(d))
+	}
+	return strings.Join(parts, "; ")
+}
+
+func compactDesc(d Descriptor) string {
+	switch x := d.(type) {
+	case *NodeDesc:
+		return x.Node.Name
+	case *LoopDesc:
+		kw := "DO"
+		if x.Parallel {
+			kw = "DOALL"
+		}
+		return fmt.Sprintf("%s %s (%s)", kw, x.Subrange.Name, x.Body.Compact())
+	}
+	return "?"
+}
+
+// Equations returns the equation nodes scheduled in f, in execution order.
+func (f Flowchart) Equations() []*depgraph.Node {
+	var out []*depgraph.Node
+	var visit func(Flowchart)
+	visit = func(fc Flowchart) {
+		for _, d := range fc {
+			switch x := d.(type) {
+			case *NodeDesc:
+				if x.Node.Kind == depgraph.EquationNode {
+					out = append(out, x.Node)
+				}
+			case *LoopDesc:
+				visit(x.Body)
+			}
+		}
+	}
+	visit(f)
+	return out
+}
+
+// Loops returns every loop descriptor in f, outermost first.
+func (f Flowchart) Loops() []*LoopDesc {
+	var out []*LoopDesc
+	var visit func(Flowchart)
+	visit = func(fc Flowchart) {
+		for _, d := range fc {
+			if l, ok := d.(*LoopDesc); ok {
+				out = append(out, l)
+				visit(l.Body)
+			}
+		}
+	}
+	visit(f)
+	return out
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"repro/internal/depgraph"
+	"repro/internal/sem"
+)
+
+// Fuse merges flowchart loops over the same subrange — the scheduler
+// improvement the paper lists as future work (§5, after Lu's MODEL
+// generator [11], which "does combine non-recursively related equations
+// which depend on the same subscript(s)").
+//
+// A later loop over subrange r merges into an earlier one when
+//
+//  1. both iterate the same subrange with the same DO/DOALL kind,
+//  2. the later loop reads the earlier loop's outputs only at the current
+//     or earlier iterations of r ("I" or "I - constant" subscripts), and
+//  3. the later loop consumes nothing produced by the descriptors it is
+//     hoisted across (the flowchart is in dependence order, so the
+//     intervening descriptors cannot consume the hoisted loop's outputs).
+//
+// Fusion applies recursively, so matching inner nests collapse as well.
+func Fuse(fc Flowchart) Flowchart {
+	// Fuse children first so inner nests are in canonical form.
+	work := make([]Descriptor, 0, len(fc))
+	for _, d := range fc {
+		if loop, ok := d.(*LoopDesc); ok {
+			d = &LoopDesc{
+				Subrange: loop.Subrange,
+				Parallel: loop.Parallel,
+				Body:     Fuse(loop.Body),
+				Deleted:  loop.Deleted,
+			}
+		}
+		work = append(work, d)
+	}
+
+	consumed := make([]bool, len(work))
+	var out Flowchart
+	for i, d := range work {
+		if consumed[i] {
+			continue
+		}
+		cur, isLoop := d.(*LoopDesc)
+		if !isLoop {
+			out = append(out, d)
+			continue
+		}
+		// Producers visible to later candidates: the values defined by
+		// descriptors the candidate would be hoisted across.
+		intervening := make(map[*depgraph.Node]bool)
+		for j := i + 1; j < len(work); j++ {
+			if consumed[j] {
+				continue
+			}
+			cand, ok := work[j].(*LoopDesc)
+			if ok && cand.Subrange == cur.Subrange && cand.Parallel == cur.Parallel &&
+				fusionLegal(cur, cand) && !readsFrom(cand.Body, intervening) {
+				cur = &LoopDesc{
+					Subrange: cur.Subrange,
+					Parallel: cur.Parallel,
+					Body:     Fuse(append(append(Flowchart{}, cur.Body...), cand.Body...)),
+					Deleted:  append(append([]*depgraph.Edge{}, cur.Deleted...), cand.Deleted...),
+				}
+				consumed[j] = true
+				continue
+			}
+			addProducers(work[j], intervening)
+		}
+		out = append(out, cur)
+	}
+	return out
+}
+
+// addProducers records the equations of d and the data they define.
+func addProducers(d Descriptor, set map[*depgraph.Node]bool) {
+	var eqs []*depgraph.Node
+	switch x := d.(type) {
+	case *NodeDesc:
+		if x.Node.Kind == depgraph.EquationNode {
+			eqs = append(eqs, x.Node)
+		}
+	case *LoopDesc:
+		eqs = x.Body.Equations()
+	}
+	for _, n := range eqs {
+		set[n] = true
+		for _, e := range n.Out {
+			if e.IsLHS {
+				set[e.To] = true
+			}
+		}
+	}
+}
+
+// readsFrom reports whether any equation in fc consumes a value produced
+// by the given set.
+func readsFrom(fc Flowchart, producers map[*depgraph.Node]bool) bool {
+	if len(producers) == 0 {
+		return false
+	}
+	for _, n := range fc.Equations() {
+		for _, e := range n.In {
+			if e.Kind == depgraph.DataDep && producers[e.From] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fusionLegal checks every dependence from the first loop's equations
+// into the second loop's equations at the fused dimension.
+func fusionLegal(la, lb *LoopDesc) bool {
+	r := la.Subrange
+	producers := make(map[*depgraph.Node]bool) // la's equations and the arrays they define
+	for _, n := range la.Body.Equations() {
+		producers[n] = true
+		for _, e := range n.Out {
+			if e.IsLHS {
+				producers[e.To] = true
+			}
+		}
+	}
+	for _, n := range lb.Body.Equations() {
+		for _, e := range n.In {
+			if e.Kind != depgraph.DataDep || !producers[e.From] {
+				continue
+			}
+			// The reference must access iteration r or earlier. A
+			// reference that does not mention r at all (a scalar produced
+			// inside la, or an opaque whole-array read) is conservative:
+			// its value may not be final until la completes.
+			okRef := false
+			for _, l := range e.Labels {
+				if l.Var == r && (l.Kind == depgraph.SubIdentity || l.Kind == depgraph.SubOffsetBack) {
+					okRef = true
+				}
+				if l.Var == r && (l.Kind == depgraph.SubOffsetFwd || l.Kind == depgraph.SubOther) {
+					return false
+				}
+			}
+			if !okRef {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FusedEquationCount reports the number of equations per loop after
+// fusion, a convenience for ablation reporting.
+func FusedEquationCount(fc Flowchart) map[*sem.Equation]int {
+	out := make(map[*sem.Equation]int)
+	for _, l := range fc.Loops() {
+		n := len(l.Body.Equations())
+		for _, eqn := range l.Body.Equations() {
+			out[eqn.Eq] = n
+		}
+	}
+	return out
+}

@@ -1,0 +1,423 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/depgraph"
+	"repro/internal/scc"
+	"repro/internal/sem"
+	"repro/internal/types"
+)
+
+// VirtualDim records that one dimension of a local array can be allocated
+// as a sliding window (paper §3.4): only Window consecutive elements along
+// the dimension are live at any time.
+type VirtualDim struct {
+	Sym      *sem.Symbol
+	Dim      int // dimension index within the array
+	Window   int // number of live planes (max back-offset + 1)
+	Subrange *types.Subrange
+}
+
+// ComponentInfo reports one maximally strongly connected component and the
+// flowchart Schedule-Component produced for it (paper Figure 5).
+type ComponentInfo struct {
+	Index     int
+	Nodes     []*depgraph.Node
+	Flowchart Flowchart
+}
+
+// NodeNames returns the component's node names joined with ", ".
+func (ci *ComponentInfo) NodeNames() string {
+	names := make([]string, len(ci.Nodes))
+	for i, n := range ci.Nodes {
+		names[i] = n.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// Schedule is the scheduler's output for one module.
+type Schedule struct {
+	Graph     *depgraph.Graph
+	Flowchart Flowchart
+	// Components lists the top-level MSCCs in the order they were
+	// scheduled, with each component's own flowchart (Figure 5).
+	Components []ComponentInfo
+	// Virtual lists the window-allocatable dimensions found (§3.4).
+	Virtual []VirtualDim
+}
+
+// VirtualFor returns the virtual dimensions of one symbol.
+func (s *Schedule) VirtualFor(sym *sem.Symbol) []VirtualDim {
+	var out []VirtualDim
+	for _, v := range s.Virtual {
+		if v.Sym == sym {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// UnschedulableError reports that the algorithm of §3.3 cannot order the
+// equations (step 2a).
+type UnschedulableError struct {
+	Module string
+	Nodes  []string
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *UnschedulableError) Error() string {
+	return fmt.Sprintf("module %s: cannot schedule component {%s}: %s",
+		e.Module, strings.Join(e.Nodes, ", "), e.Reason)
+}
+
+// scheduler carries state for one Build run.
+type scheduler struct {
+	g *depgraph.Graph
+	// deleted marks edges removed by step 4 along the current recursion
+	// path.
+	deleted map[*depgraph.Edge]bool
+	// scheduled marks dimensions already assigned to enclosing loops on
+	// the current recursion path (step 5).
+	scheduled map[*types.Subrange]bool
+	virtual   []VirtualDim
+	// virtSeen prevents duplicate reports when components re-scheduled in
+	// recursion.
+	virtSeen map[string]bool
+	err      error
+}
+
+// Build runs the scheduling algorithm of §3.3 on a dependency graph and
+// returns the flowchart, component table and virtual-dimension report.
+func Build(g *depgraph.Graph) (*Schedule, error) {
+	s := &scheduler{
+		g:         g,
+		deleted:   make(map[*depgraph.Edge]bool),
+		scheduled: make(map[*types.Subrange]bool),
+		virtSeen:  make(map[string]bool),
+	}
+	sched := &Schedule{Graph: g}
+
+	all := make([]*depgraph.Node, len(g.Nodes))
+	copy(all, g.Nodes)
+	fc, comps := s.scheduleGraph(all, true)
+	if s.err != nil {
+		return nil, s.err
+	}
+	sched.Flowchart = fc
+	sched.Components = comps
+	sched.Virtual = s.virtual
+	return sched, nil
+}
+
+// scheduleGraph is the paper's Schedule-Graph: find the MSCCs of the
+// (sub)graph, schedule each in topological order, and concatenate the
+// flowcharts.
+func (s *scheduler) scheduleGraph(nodes []*depgraph.Node, top bool) (Flowchart, []ComponentInfo) {
+	inSet := make(map[*depgraph.Node]bool, len(nodes))
+	for _, n := range nodes {
+		inSet[n] = true
+	}
+	// Adjacency over the live (non-deleted) edges restricted to nodes.
+	idx := make(map[*depgraph.Node]int, len(nodes))
+	for i, n := range nodes {
+		idx[n] = i
+	}
+	adj := make(scc.AdjGraph, len(nodes))
+	for i, n := range nodes {
+		for _, e := range n.Out {
+			if s.deleted[e] || !inSet[e.To] {
+				continue
+			}
+			adj[i] = append(adj[i], idx[e.To])
+		}
+	}
+	comps := scc.Components(adj)
+
+	var (
+		fc    Flowchart
+		infos []ComponentInfo
+	)
+	for ci, comp := range comps {
+		members := make([]*depgraph.Node, len(comp))
+		for j, v := range comp {
+			members[j] = nodes[v]
+		}
+		cfc := s.scheduleComponent(members)
+		if s.err != nil {
+			return nil, nil
+		}
+		fc = append(fc, cfc...)
+		if top {
+			infos = append(infos, ComponentInfo{Index: ci + 1, Nodes: members, Flowchart: cfc})
+		}
+	}
+	return fc, infos
+}
+
+// scheduleComponent is the paper's Schedule-Component (§3.3, steps 1-8).
+func (s *scheduler) scheduleComponent(nodes []*depgraph.Node) Flowchart {
+	// Step 1: a lone data node contributes nothing to the flowchart.
+	if len(nodes) == 1 && nodes[0].Kind == depgraph.DataNode {
+		return nil
+	}
+
+	inComp := make(map[*depgraph.Node]bool, len(nodes))
+	for _, n := range nodes {
+		inComp[n] = true
+	}
+	compEdges := s.liveEdgesWithin(nodes, inComp)
+
+	// Step 2: pick an unscheduled node dimension usable as loop subscript.
+	candidates := s.candidateDims(nodes)
+	if len(candidates) == 0 {
+		// Step 2a/2b: no dimensions left.
+		if len(nodes) == 1 {
+			return Flowchart{&NodeDesc{Node: nodes[0]}}
+		}
+		s.fail(nodes, "no unscheduled dimensions remain")
+		return nil
+	}
+
+	var (
+		chosen *types.Subrange
+		posOf  map[*depgraph.Node]int
+	)
+	var reasons []string
+	for _, cand := range candidates {
+		p, reason := s.verifyDim(cand, nodes, inComp, compEdges)
+		if reason == "" {
+			chosen, posOf = cand, p
+			break
+		}
+		reasons = append(reasons, fmt.Sprintf("%s: %s", cand.Name, reason))
+	}
+	if chosen == nil {
+		// Step 3 failed for every dimension: the equations cannot be
+		// scheduled by this algorithm (e.g. a recurrence with both
+		// forward and backward offsets in every dimension).
+		s.fail(nodes, "no dimension passes the subscript checks ("+strings.Join(reasons, "; ")+")")
+		return nil
+	}
+
+	// Virtual-dimension analysis (§3.4) runs on the chosen dimension
+	// before edge deletion, for each local array in the component.
+	s.analyzeVirtual(chosen, nodes, inComp, posOf)
+
+	// Step 4: delete in-component edges whose subscript at the chosen
+	// dimension is "I - constant".
+	var deleted []*depgraph.Edge
+	for _, e := range compEdges {
+		an := e.ArrayNode()
+		pos, ok := posOf[an]
+		if !ok {
+			continue
+		}
+		if l, ok := e.LabelAt(pos); ok && l.Kind == depgraph.SubOffsetBack && l.Var == chosen {
+			s.deleted[e] = true
+			deleted = append(deleted, e)
+		}
+	}
+
+	// Steps 5-8: mark the dimension scheduled, recurse on the remaining
+	// subgraph, and wrap the result in the loop descriptor. An iterative
+	// loop is generated exactly when offset edges were deleted.
+	s.scheduled[chosen] = true
+	body, _ := s.scheduleGraph(nodes, false)
+	s.scheduled[chosen] = false
+	for _, e := range deleted {
+		delete(s.deleted, e)
+	}
+	if s.err != nil {
+		return nil
+	}
+	return Flowchart{&LoopDesc{
+		Subrange: chosen,
+		Parallel: len(deleted) == 0,
+		Body:     body,
+		Deleted:  deleted,
+	}}
+}
+
+// liveEdgesWithin returns the non-deleted data edges with both endpoints
+// in the component. Bound edges never participate in dimension checks.
+func (s *scheduler) liveEdgesWithin(nodes []*depgraph.Node, inComp map[*depgraph.Node]bool) []*depgraph.Edge {
+	var out []*depgraph.Edge
+	for _, n := range nodes {
+		for _, e := range n.Out {
+			if !s.deleted[e] && e.Kind == depgraph.DataDep && inComp[e.To] {
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// candidateDims lists the unscheduled index subranges of the component's
+// equation nodes, in node order then dimension order — so "the first
+// dimension" of the paper's worked example (K for the relaxation
+// recurrence) is tried first.
+func (s *scheduler) candidateDims(nodes []*depgraph.Node) []*types.Subrange {
+	var out []*types.Subrange
+	seen := make(map[*types.Subrange]bool)
+	for _, n := range nodes {
+		if n.Kind != depgraph.EquationNode {
+			continue
+		}
+		for _, d := range n.Eq.Dims {
+			if !seen[d] && !s.scheduled[d] {
+				seen[d] = true
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// verifyDim performs step 3 for candidate dimension r: the subrange must
+// occupy a consistent position in every node of the component, and every
+// in-component subscript at that position must be "I" or "I - constant".
+// It returns the per-node positions on success, or a reason string.
+func (s *scheduler) verifyDim(r *types.Subrange, nodes []*depgraph.Node, inComp map[*depgraph.Node]bool, compEdges []*depgraph.Edge) (map[*depgraph.Node]int, string) {
+	posOf := make(map[*depgraph.Node]int)
+
+	// Equation nodes: position in the equation's dimension list; every
+	// equation in the component must iterate r.
+	for _, n := range nodes {
+		if n.Kind != depgraph.EquationNode {
+			continue
+		}
+		p := n.Eq.DimPos(r)
+		if p < 0 {
+			return nil, fmt.Sprintf("equation %s does not iterate %s", n.Name, r.Name)
+		}
+		posOf[n] = p
+	}
+
+	// Array nodes: the position is implied by the edge labels; it must be
+	// consistent across every in-component reference.
+	for _, e := range compEdges {
+		an := e.ArrayNode()
+		if an.Kind != depgraph.DataNode || !inComp[an] {
+			continue
+		}
+		for _, l := range e.Labels {
+			if l.Var != r {
+				continue
+			}
+			if prev, ok := posOf[an]; ok && prev != l.Pos {
+				return nil, fmt.Sprintf("%s appears at positions %d and %d of %s", r.Name, prev+1, l.Pos+1, an.Name)
+			}
+			posOf[an] = l.Pos
+		}
+	}
+	// Every multi-dimensional array in the component must bind r to some
+	// position, or the loop cannot sweep it.
+	for _, n := range nodes {
+		if n.Kind == depgraph.DataNode && n.Rank() > 0 {
+			if _, ok := posOf[n]; !ok {
+				return nil, fmt.Sprintf("array %s has no dimension subscripted by %s", n.Name, r.Name)
+			}
+		}
+	}
+
+	// Subscript forms: at r's position, only "I" and "I - constant" are
+	// permitted on in-component edges (paper step 3; "I + constant" and
+	// arbitrary expressions block the dimension).
+	for _, e := range compEdges {
+		an := e.ArrayNode()
+		pos, ok := posOf[an]
+		if !ok {
+			continue
+		}
+		l, ok := e.LabelAt(pos)
+		if !ok {
+			return nil, fmt.Sprintf("reference %s has no subscript at position %d", e, pos+1)
+		}
+		switch {
+		case l.Var == r && l.Kind == depgraph.SubIdentity:
+		case l.Var == r && l.Kind == depgraph.SubOffsetBack:
+		default:
+			return nil, fmt.Sprintf("reference %s uses subscript %q at the %s dimension", e, l.String(), r.Name)
+		}
+	}
+	return posOf, ""
+}
+
+// analyzeVirtual applies the §3.4 rules for the dimension being scheduled:
+// a local array's dimension is virtual when every outgoing edge either
+// (1) stays in the component with an "I"/"I - constant" subscript, or
+// (2) leaves the component reading only the subrange's upper bound.
+// As a conservative extension, definitions arriving from outside the
+// component must write a fixed plane (constant subscript) or follow the
+// same forms — otherwise a window allocation would be overwritten out of
+// order.
+func (s *scheduler) analyzeVirtual(r *types.Subrange, nodes []*depgraph.Node, inComp map[*depgraph.Node]bool, posOf map[*depgraph.Node]int) {
+	for _, n := range nodes {
+		if !n.IsLocalArray() {
+			continue
+		}
+		pos, ok := posOf[n]
+		if !ok {
+			continue
+		}
+		key := fmt.Sprintf("%s.%d", n.Name, pos)
+		if s.virtSeen[key] {
+			continue
+		}
+		window := 1
+		virtual := true
+		for _, e := range n.Out {
+			if e.Kind != depgraph.DataDep {
+				continue
+			}
+			l, has := e.LabelAt(pos)
+			if !has {
+				virtual = false
+				break
+			}
+			switch {
+			case inComp[e.To] && l.Var == r && (l.Kind == depgraph.SubIdentity || l.Kind == depgraph.SubOffsetBack):
+				if w := int(l.Offset) + 1; w > window {
+					window = w
+				}
+			case !inComp[e.To] && l.Kind == depgraph.SubUpperBound:
+				// Form 2: only the final plane escapes the loop.
+			default:
+				virtual = false
+			}
+			if !virtual {
+				break
+			}
+		}
+		if virtual {
+			for _, e := range n.In {
+				if e.Kind != depgraph.DataDep || inComp[e.From] {
+					continue
+				}
+				l, has := e.LabelAt(pos)
+				if !has || l.Kind == depgraph.SubOther || l.Kind == depgraph.SubOffsetFwd {
+					virtual = false
+					break
+				}
+			}
+		}
+		if virtual {
+			s.virtSeen[key] = true
+			s.virtual = append(s.virtual, VirtualDim{Sym: n.Sym, Dim: pos, Window: window, Subrange: r})
+		}
+	}
+}
+
+func (s *scheduler) fail(nodes []*depgraph.Node, reason string) {
+	if s.err != nil {
+		return
+	}
+	names := make([]string, len(nodes))
+	for i, n := range nodes {
+		names[i] = n.Name
+	}
+	s.err = &UnschedulableError{Module: s.g.Module.Name, Nodes: names, Reason: reason}
+}

@@ -1,0 +1,497 @@
+// Package depgraph builds the data dependency graph of a PS module
+// (paper §3.1). Nodes are data items and equations; a directed edge runs
+// from node i to node j when data produced in i is used in j. Edges carry
+// per-dimension labels classifying each subscript expression of the array
+// endpoint (paper Figure 2): "I", "I - constant", or any other expression,
+// plus the offset amount for constant-offset forms.
+//
+// Bound dependency edges are also drawn from each scalar variable used in
+// a subrange bound to the variables (and equations) whose shape or
+// iteration depends on that subrange — e.g. M → InitialA, A, newA and
+// maxK → A in the relaxation module.
+package depgraph
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/sem"
+	"repro/internal/types"
+)
+
+// NodeKind discriminates data nodes from equation nodes.
+type NodeKind int
+
+// Node kinds.
+const (
+	DataNode NodeKind = iota
+	EquationNode
+)
+
+// String names the node kind.
+func (k NodeKind) String() string {
+	if k == DataNode {
+		return "data"
+	}
+	return "equation"
+}
+
+// Node is one vertex of the dependency graph.
+type Node struct {
+	ID   int
+	Kind NodeKind
+	Name string
+	Sym  *sem.Symbol   // for data nodes
+	Eq   *sem.Equation // for equation nodes
+	Out  []*Edge
+	In   []*Edge
+}
+
+// IsLocalArray reports whether the node is a local array variable, the
+// only candidates for virtual dimensions (paper §3.4).
+func (n *Node) IsLocalArray() bool {
+	return n.Kind == DataNode && n.Sym != nil && n.Sym.Kind == sem.LocalSym &&
+		n.Sym.Type != nil && n.Sym.Type.Kind() == types.ArrayKind
+}
+
+// Rank returns the number of array dimensions of a data node (0 for
+// scalars and equation nodes).
+func (n *Node) Rank() int {
+	if n.Kind == DataNode && n.Sym != nil {
+		return types.Rank(n.Sym.Type)
+	}
+	return 0
+}
+
+// EdgeKind discriminates data dependency edges from subrange bound edges.
+type EdgeKind int
+
+// Edge kinds. The paper also mentions hierarchical edges between records
+// and their fields; we model records as indivisible values (fields are not
+// separately defined), so no hierarchical edges arise.
+const (
+	DataDep EdgeKind = iota
+	BoundDep
+)
+
+// String names the edge kind.
+func (k EdgeKind) String() string {
+	if k == BoundDep {
+		return "bound"
+	}
+	return "data"
+}
+
+// SubKind classifies one subscript expression (paper Figure 2).
+type SubKind int
+
+// Subscript expression kinds. Identity is the paper's "I"; OffsetBack is
+// "I - constant" (a reference to an element produced in an earlier
+// iteration, deletable when forming an iterative loop); OffsetFwd is
+// "I + constant", which the paper folds into "any other expression" for
+// scheduling but which the hyperplane transformation distinguishes;
+// UpperBound is a constant subscript equal to the dimension's declared
+// upper bound (the form the virtual-dimension rule 2 recognizes); Const is
+// any other constant; Other is everything else.
+const (
+	SubIdentity SubKind = iota
+	SubOffsetBack
+	SubOffsetFwd
+	SubUpperBound
+	SubConst
+	SubOther
+)
+
+// String names the subscript kind.
+func (k SubKind) String() string {
+	switch k {
+	case SubIdentity:
+		return "I"
+	case SubOffsetBack:
+		return "I-c"
+	case SubOffsetFwd:
+		return "I+c"
+	case SubUpperBound:
+		return "N"
+	case SubConst:
+		return "const"
+	}
+	return "other"
+}
+
+// SubLabel is the classification of the subscript used at one dimension of
+// the array endpoint of an edge.
+type SubLabel struct {
+	// Pos is the dimension position in the referenced array (the paper's
+	// "position in target of this source subscript").
+	Pos  int
+	Kind SubKind
+	// Var is the index variable for Identity/OffsetBack/OffsetFwd labels.
+	Var *types.Subrange
+	// Offset is the back-distance: the subscript is Var - Offset.
+	// Positive values reference earlier iterations (A[K-1] has Offset 1);
+	// negative values reference later ones (A[I+1] has Offset -1).
+	Offset int64
+	// Expr is the original subscript expression (nil for the implicit
+	// dimensions of array-valued assignments).
+	Expr ast.Expr
+}
+
+// String renders the label like "K-1", "I", "maxK", or "other".
+func (l SubLabel) String() string {
+	switch l.Kind {
+	case SubIdentity:
+		return l.Var.Name
+	case SubOffsetBack:
+		return fmt.Sprintf("%s-%d", l.Var.Name, l.Offset)
+	case SubOffsetFwd:
+		return fmt.Sprintf("%s+%d", l.Var.Name, -l.Offset)
+	case SubUpperBound, SubConst:
+		if l.Expr != nil {
+			return ast.ExprString(l.Expr)
+		}
+		return "const"
+	}
+	if l.Expr != nil {
+		return ast.ExprString(l.Expr)
+	}
+	return "other"
+}
+
+// Edge is one directed dependency.
+type Edge struct {
+	ID   int
+	From *Node
+	To   *Node
+	Kind EdgeKind
+	// Labels classifies the subscripts of the array endpoint, one entry
+	// per array dimension (full rank). Nil for scalar references, whole-
+	// array references passed opaquely (e.g. module call arguments), and
+	// bound edges.
+	Labels []SubLabel
+	// IsLHS marks the equation→variable edge produced by a left hand
+	// side; Labels then describe the LHS subscripts.
+	IsLHS bool
+	// Ref is the originating reference expression, when one exists.
+	Ref ast.Expr
+}
+
+// ArrayNode returns the array endpoint the labels describe: To for LHS
+// edges, From otherwise.
+func (e *Edge) ArrayNode() *Node {
+	if e.IsLHS {
+		return e.To
+	}
+	return e.From
+}
+
+// LabelAt returns the label for dimension pos of the array endpoint and
+// whether one exists.
+func (e *Edge) LabelAt(pos int) (SubLabel, bool) {
+	for _, l := range e.Labels {
+		if l.Pos == pos {
+			return l, true
+		}
+	}
+	return SubLabel{}, false
+}
+
+// String renders the edge for diagnostics: "A -[K-1,I,J+1]-> eq.3".
+func (e *Edge) String() string {
+	s := e.From.Name + " -"
+	if e.Kind == BoundDep {
+		s += "(bound)"
+	} else if len(e.Labels) > 0 {
+		s += "["
+		for i, l := range e.Labels {
+			if i > 0 {
+				s += ","
+			}
+			s += l.String()
+		}
+		s += "]"
+	}
+	return s + "-> " + e.To.Name
+}
+
+// Graph is the dependency graph of one module.
+type Graph struct {
+	Module *sem.Module
+	Nodes  []*Node
+	Edges  []*Edge
+	byName map[string]*Node
+}
+
+// NodeFor returns the node for a data symbol name or equation label.
+func (g *Graph) NodeFor(name string) *Node { return g.byName[name] }
+
+// DataNodeOf returns the node of a data symbol.
+func (g *Graph) DataNodeOf(sym *sem.Symbol) *Node { return g.byName["v:"+sym.Name] }
+
+// EquationNodeOf returns the node of an equation.
+func (g *Graph) EquationNodeOf(eq *sem.Equation) *Node { return g.byName["e:"+eq.Label] }
+
+func (g *Graph) addNode(n *Node) *Node {
+	n.ID = len(g.Nodes)
+	g.Nodes = append(g.Nodes, n)
+	key := "v:" + n.Name
+	if n.Kind == EquationNode {
+		key = "e:" + n.Name
+	}
+	g.byName[key] = n
+	if _, dup := g.byName[n.Name]; !dup {
+		g.byName[n.Name] = n
+	}
+	return n
+}
+
+func (g *Graph) addEdge(e *Edge) *Edge {
+	e.ID = len(g.Edges)
+	g.Edges = append(g.Edges, e)
+	e.From.Out = append(e.From.Out, e)
+	e.To.In = append(e.To.In, e)
+	return e
+}
+
+// Build constructs the dependency graph for a checked module.
+func Build(m *sem.Module) *Graph {
+	g := &Graph{Module: m, byName: make(map[string]*Node)}
+
+	// Data nodes for every parameter, result and local, in declaration
+	// order; then equation nodes in define-section order.
+	for _, sym := range m.DataSymbols() {
+		g.addNode(&Node{Kind: DataNode, Name: sym.Name, Sym: sym})
+	}
+	for _, eq := range m.Eqs {
+		g.addNode(&Node{Kind: EquationNode, Name: eq.Label, Eq: eq})
+	}
+
+	// Bound dependency edges: scalar → shaped variable.
+	for _, sym := range m.DataSymbols() {
+		to := g.DataNodeOf(sym)
+		for _, dep := range sym.BoundDeps {
+			g.addEdge(&Edge{From: g.DataNodeOf(dep), To: to, Kind: BoundDep})
+		}
+	}
+
+	for _, eq := range m.Eqs {
+		en := g.EquationNodeOf(eq)
+		b := &edgeBuilder{g: g, m: m, eq: eq, en: en}
+		// Bound edges from scalars defining the equation's iteration
+		// subranges, so loops never run before computed bounds exist.
+		b.addDimBoundEdges()
+		// LHS edges: equation → defined variable.
+		for _, t := range eq.Targets {
+			b.addLHSEdge(t)
+		}
+		// RHS reference edges: variable → equation.
+		if eq.MultiCall != nil {
+			for _, arg := range eq.MultiCall.Args {
+				b.walk(arg, false)
+			}
+		} else {
+			b.walk(eq.RHS, true)
+		}
+	}
+	return g
+}
+
+// edgeBuilder accumulates edges for one equation.
+type edgeBuilder struct {
+	g  *Graph
+	m  *sem.Module
+	eq *sem.Equation
+	en *Node
+}
+
+func (b *edgeBuilder) addDimBoundEdges() {
+	seen := make(map[*sem.Symbol]bool)
+	for _, d := range b.eq.Dims {
+		info := b.m.SubrangeInfo(d)
+		if info == nil {
+			continue
+		}
+		for _, dep := range info.BoundDeps {
+			if !seen[dep] {
+				seen[dep] = true
+				b.g.addEdge(&Edge{From: b.g.DataNodeOf(dep), To: b.en, Kind: BoundDep})
+			}
+		}
+	}
+}
+
+func (b *edgeBuilder) addLHSEdge(t *sem.Target) {
+	to := b.g.DataNodeOf(t.Sym)
+	e := &Edge{From: b.en, To: to, Kind: DataDep, IsLHS: true}
+	if arr, ok := t.Sym.Type.(*types.Array); ok {
+		e.Labels = b.classifySubs(arr, t.Subs, t.Implicit)
+	}
+	b.g.addEdge(e)
+	// Subscript expressions on the LHS may themselves reference scalar
+	// data (A[maxK] = ... would use maxK); draw those reference edges.
+	for _, sub := range t.Subs {
+		b.walkSubexprs(sub)
+	}
+}
+
+// classifySubs builds full-rank labels for a reference to an array: the
+// explicit subscripts classified by affine analysis, then the implicit
+// trailing dimensions as Identity labels of the given index variables.
+func (b *edgeBuilder) classifySubs(arr *types.Array, subs []ast.Expr, implicit []*types.Subrange) []SubLabel {
+	labels := make([]SubLabel, 0, len(arr.Dims))
+	for i, sub := range subs {
+		labels = append(labels, b.classifyOne(arr, i, sub))
+	}
+	for j, v := range implicit {
+		labels = append(labels, SubLabel{Pos: len(subs) + j, Kind: SubIdentity, Var: v})
+	}
+	// Any remaining dimensions (opaque partial references) are unknown.
+	for p := len(labels); p < len(arr.Dims); p++ {
+		labels = append(labels, SubLabel{Pos: p, Kind: SubOther})
+	}
+	return labels
+}
+
+// classifyOne classifies a single subscript expression against dimension
+// pos of arr, per paper Figure 2.
+func (b *edgeBuilder) classifyOne(arr *types.Array, pos int, sub ast.Expr) SubLabel {
+	l := SubLabel{Pos: pos, Expr: sub, Kind: SubOther}
+	aff := b.m.AnalyzeAffine(sub)
+	if aff == nil {
+		return l
+	}
+	if v, k, ok := aff.SingleVar(); ok {
+		l.Var = v
+		l.Offset = -k
+		switch {
+		case k == 0:
+			l.Kind = SubIdentity
+		case k < 0:
+			l.Kind = SubOffsetBack
+		default:
+			l.Kind = SubOffsetFwd
+		}
+		return l
+	}
+	if aff.IsConst() {
+		l.Kind = SubConst
+		// Recognize the "N" form of virtual-dimension rule 2: the
+		// subscript is textually the declared upper bound of this
+		// dimension's subrange (e.g. A[maxK] for A: array [1 .. maxK]).
+		if pos < len(arr.Dims) {
+			if ast.ExprString(sub) == ast.ExprString(arr.Dims[pos].Hi) {
+				l.Kind = SubUpperBound
+			}
+		}
+	}
+	return l
+}
+
+// walk visits an RHS expression, drawing a reference edge for each data
+// use. topLevel is true only along the spine where an array-typed value
+// aligns positionally with the equation's implicit dimensions.
+func (b *edgeBuilder) walk(e ast.Expr, topLevel bool) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case *ast.Paren:
+		b.walk(x.X, topLevel)
+	case *ast.Ident:
+		b.refIdent(x, topLevel)
+	case *ast.Index:
+		b.refIndex(x, topLevel)
+	case *ast.Field:
+		b.walk(x.Base, false)
+	case *ast.Unary:
+		b.walk(x.X, false)
+	case *ast.Binary:
+		b.walk(x.X, false)
+		b.walk(x.Y, false)
+	case *ast.IfExpr:
+		b.walk(x.Cond, false)
+		// Conditional arms yield the equation's value, so array-typed
+		// arms still align with the implicit dimensions.
+		b.walk(x.Then, topLevel)
+		for _, arm := range x.Elifs {
+			b.walk(arm.Cond, false)
+			b.walk(arm.Then, topLevel)
+		}
+		b.walk(x.Else, topLevel)
+	case *ast.Call:
+		for _, a := range x.Args {
+			b.walk(a, false)
+		}
+	}
+}
+
+// walkSubexprs draws edges for scalar data referenced inside subscript
+// expressions (index variables draw no edges; they are loop counters).
+func (b *edgeBuilder) walkSubexprs(e ast.Expr) {
+	ast.Inspect(e, func(x ast.Expr) bool {
+		if id, ok := x.(*ast.Ident); ok {
+			if b.m.IndexVar(id.Name) == nil {
+				b.refIdent(id, false)
+			}
+		}
+		return true
+	})
+}
+
+// refIdent draws an edge for a whole-variable reference.
+func (b *edgeBuilder) refIdent(x *ast.Ident, topLevel bool) {
+	if b.m.IndexVar(x.Name) != nil {
+		return // index variable, not data
+	}
+	sym := b.m.Lookup(x.Name)
+	if sym == nil || !sym.IsData() {
+		return // enum constant or unresolved
+	}
+	from := b.g.DataNodeOf(sym)
+	e := &Edge{From: from, To: b.en, Kind: DataDep, Ref: x}
+	if arr, ok := sym.Type.(*types.Array); ok {
+		if topLevel && len(b.implicitVars()) == len(arr.Dims) {
+			e.Labels = b.classifySubs(arr, nil, b.implicitVars())
+		} else {
+			e.Labels = b.classifySubs(arr, nil, nil) // opaque: all Other
+		}
+	}
+	b.g.addEdge(e)
+}
+
+// refIndex draws an edge for a subscripted reference A[s1,...,sm].
+func (b *edgeBuilder) refIndex(x *ast.Index, topLevel bool) {
+	base, ok := ast.Unparen(x.Base).(*ast.Ident)
+	if !ok {
+		// Subscripting a computed value (e.g. a call result): reference
+		// edges come from the base's own data uses.
+		b.walk(x.Base, false)
+		for _, s := range x.Subs {
+			b.walkSubexprs(s)
+		}
+		return
+	}
+	sym := b.m.Lookup(base.Name)
+	if sym == nil || !sym.IsData() {
+		return
+	}
+	arr, isArr := sym.Type.(*types.Array)
+	from := b.g.DataNodeOf(sym)
+	e := &Edge{From: from, To: b.en, Kind: DataDep, Ref: x}
+	if isArr {
+		var implicit []*types.Subrange
+		if topLevel && len(x.Subs) < len(arr.Dims) &&
+			len(b.implicitVars()) == len(arr.Dims)-len(x.Subs) {
+			implicit = b.implicitVars()
+		}
+		e.Labels = b.classifySubs(arr, x.Subs, implicit)
+	}
+	b.g.addEdge(e)
+	for _, s := range x.Subs {
+		b.walkSubexprs(s)
+	}
+}
+
+// implicitVars returns the equation's implicit dimension variables.
+func (b *edgeBuilder) implicitVars() []*types.Subrange {
+	return b.eq.Dims[b.eq.NumExplicit:]
+}

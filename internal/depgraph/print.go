@@ -1,0 +1,73 @@
+package depgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Listing renders the graph as a deterministic text table, one node per
+// block with its outgoing edges — the textual form of the paper's hand-
+// drawn Figure 3.
+func (g *Graph) Listing() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "dependency graph for module %s: %d nodes, %d edges\n",
+		g.Module.Name, len(g.Nodes), len(g.Edges))
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&sb, "  [%d] %s %s", n.ID, n.Kind, n.Name)
+		if n.Kind == EquationNode && n.Eq != nil {
+			fmt.Fprintf(&sb, ": %s", n.Eq)
+		} else if n.Sym != nil && n.Sym.Type != nil {
+			fmt.Fprintf(&sb, ": %s", n.Sym.Type)
+		}
+		sb.WriteByte('\n')
+		for _, e := range n.Out {
+			fmt.Fprintf(&sb, "      %s\n", e)
+		}
+	}
+	return sb.String()
+}
+
+// DOT renders the graph in Graphviz format. Equation nodes are boxes,
+// data nodes ellipses; bound edges are dashed.
+func (g *Graph) DOT() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=TB;\n", g.Module.Name)
+	for _, n := range g.Nodes {
+		shape := "ellipse"
+		if n.Kind == EquationNode {
+			shape = "box"
+		}
+		fmt.Fprintf(&sb, "  n%d [label=%q, shape=%s];\n", n.ID, n.Name, shape)
+	}
+	for _, e := range g.Edges {
+		attrs := []string{}
+		if e.Kind == BoundDep {
+			attrs = append(attrs, "style=dashed")
+		}
+		if len(e.Labels) > 0 {
+			parts := make([]string, len(e.Labels))
+			for i, l := range e.Labels {
+				parts[i] = l.String()
+			}
+			attrs = append(attrs, fmt.Sprintf("label=%q", "["+strings.Join(parts, ",")+"]"))
+		}
+		fmt.Fprintf(&sb, "  n%d -> n%d", e.From.ID, e.To.ID)
+		if len(attrs) > 0 {
+			fmt.Fprintf(&sb, " [%s]", strings.Join(attrs, ", "))
+		}
+		sb.WriteString(";\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// EdgeStrings returns the sorted string forms of all edges, for tests.
+func (g *Graph) EdgeStrings() []string {
+	out := make([]string, len(g.Edges))
+	for i, e := range g.Edges {
+		out[i] = e.String()
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,228 @@
+package hyperplane
+
+import (
+	"repro/internal/ast"
+	"repro/internal/sem"
+	"repro/internal/token"
+)
+
+// Expression-construction helpers for the rewriter. Built nodes carry no
+// positions; the printed module is reparsed before further analysis.
+
+func ident(name string) *ast.Ident { return &ast.Ident{Name: name} }
+
+func intLit(v int64) *ast.IntLit {
+	return &ast.IntLit{Value: v}
+}
+
+func paren(e ast.Expr) ast.Expr {
+	switch e.(type) {
+	case *ast.Ident, *ast.IntLit, *ast.RealLit, *ast.Paren, *ast.Index, *ast.Call:
+		return e
+	}
+	return &ast.Paren{X: e}
+}
+
+var opByName = map[string]token.Kind{
+	"+": token.PLUS, "-": token.MINUS, "*": token.STAR, "/": token.SLASH,
+	"<": token.LT, "<=": token.LE, ">": token.GT, ">=": token.GE,
+	"=": token.EQ, "<>": token.NEQ, "or": token.OR, "and": token.AND,
+}
+
+func binary(x ast.Expr, op string, y ast.Expr) ast.Expr {
+	return &ast.Binary{Op: opByName[op], X: x, Y: y}
+}
+
+// term is one coef·expr summand of a linear combination.
+type term struct {
+	coef int64
+	e    ast.Expr
+}
+
+// lincomb builds Σ coef·expr + konst with literal folding: constant
+// summands fold into konst, coefficient ±1 drops the multiplication, and
+// the constant appears last ("2*K + I - 1" rather than "-1 + 2*K + I").
+func lincomb(terms []term, konst int64) ast.Expr {
+	var acc ast.Expr
+	add := func(e ast.Expr, negative bool) {
+		if acc == nil {
+			if negative {
+				acc = &ast.Unary{Op: token.MINUS, X: paren(e)}
+			} else {
+				acc = e
+			}
+			return
+		}
+		op := token.PLUS
+		if negative {
+			op = token.MINUS
+		}
+		acc = &ast.Binary{Op: op, X: acc, Y: mulOperand(e)}
+	}
+	for _, t := range terms {
+		if t.coef == 0 {
+			continue
+		}
+		if k, ok := sem.EvalConstInt(t.e); ok {
+			konst += t.coef * k
+			continue
+		}
+		c, neg := t.coef, false
+		if c < 0 {
+			c, neg = -c, true
+		}
+		e := t.e
+		if c != 1 {
+			e = &ast.Binary{Op: token.STAR, X: intLit(c), Y: mulOperand(t.e)}
+		}
+		add(e, neg)
+	}
+	if acc == nil {
+		return intLit(konst)
+	}
+	if konst > 0 {
+		acc = &ast.Binary{Op: token.PLUS, X: acc, Y: intLit(konst)}
+	} else if konst < 0 {
+		acc = &ast.Binary{Op: token.MINUS, X: acc, Y: intLit(-konst)}
+	}
+	return acc
+}
+
+// mulOperand parenthesizes additive expressions used as factors or
+// subtrahends so the printed form keeps its meaning.
+func mulOperand(e ast.Expr) ast.Expr {
+	if b, ok := e.(*ast.Binary); ok {
+		if b.Op.Precedence() < token.STAR.Precedence() {
+			return &ast.Paren{X: e}
+		}
+	}
+	if _, ok := e.(*ast.Unary); ok {
+		return &ast.Paren{X: e}
+	}
+	return e
+}
+
+// boundRange computes symbolic interval bounds of row·x where each x_j
+// ranges over [lo(j), hi(j)]: positive coefficients take the matching
+// bound, negative coefficients the opposite one.
+func boundRange(row []int64, lo, hi func(j int) ast.Expr) (ast.Expr, ast.Expr) {
+	var loTerms, hiTerms []term
+	for j, c := range row {
+		if c == 0 {
+			continue
+		}
+		if c > 0 {
+			loTerms = append(loTerms, term{coef: c, e: lo(j)})
+			hiTerms = append(hiTerms, term{coef: c, e: hi(j)})
+		} else {
+			loTerms = append(loTerms, term{coef: c, e: hi(j)})
+			hiTerms = append(hiTerms, term{coef: c, e: lo(j)})
+		}
+	}
+	return lincomb(loTerms, 0), lincomb(hiTerms, 0)
+}
+
+// rewriteExpr returns a copy of e in which identifiers named by subst are
+// replaced and Index nodes accepted by rewriteRef are substituted.
+// Unchanged subtrees are shared with the input.
+func rewriteExpr(e ast.Expr, subst func(string) ast.Expr, rewriteRef func(*ast.Index) (ast.Expr, bool)) ast.Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *ast.Ident:
+		if r := subst(x.Name); r != nil {
+			return paren(r)
+		}
+		return x
+	case *ast.Paren:
+		return &ast.Paren{X: rewriteExpr(x.X, subst, rewriteRef)}
+	case *ast.Unary:
+		return &ast.Unary{Op: x.Op, X: rewriteExpr(x.X, subst, rewriteRef)}
+	case *ast.Binary:
+		return &ast.Binary{Op: x.Op,
+			X: rewriteExpr(x.X, subst, rewriteRef),
+			Y: rewriteExpr(x.Y, subst, rewriteRef)}
+	case *ast.IfExpr:
+		out := &ast.IfExpr{
+			Cond: rewriteExpr(x.Cond, subst, rewriteRef),
+			Then: rewriteExpr(x.Then, subst, rewriteRef),
+			Else: rewriteExpr(x.Else, subst, rewriteRef),
+		}
+		for _, arm := range x.Elifs {
+			out.Elifs = append(out.Elifs, ast.ElseIf{
+				Cond: rewriteExpr(arm.Cond, subst, rewriteRef),
+				Then: rewriteExpr(arm.Then, subst, rewriteRef),
+			})
+		}
+		return out
+	case *ast.Index:
+		if r, ok := rewriteRef(x); ok {
+			return r
+		}
+		out := &ast.Index{Base: rewriteExpr(x.Base, subst, rewriteRef)}
+		for _, s := range x.Subs {
+			out.Subs = append(out.Subs, rewriteExpr(s, subst, rewriteRef))
+		}
+		return out
+	case *ast.Field:
+		return &ast.Field{Base: rewriteExpr(x.Base, subst, rewriteRef), Sel: x.Sel}
+	case *ast.Call:
+		out := &ast.Call{Fun: x.Fun}
+		for _, a := range x.Args {
+			out.Args = append(out.Args, rewriteExpr(a, subst, rewriteRef))
+		}
+		return out
+	}
+	return e
+}
+
+// rewriteAligned rewrites e bottom-up while tracking the "top level"
+// property: positions where an array-typed value aligns with the
+// equation's implicit dimensions (the expression spine and conditional
+// arms, per depgraph's reference walk).
+func rewriteAligned(e ast.Expr, topLevel bool, f func(ast.Expr, bool) (ast.Expr, bool)) ast.Expr {
+	if e == nil {
+		return nil
+	}
+	if r, ok := f(e, topLevel); ok {
+		return r
+	}
+	switch x := e.(type) {
+	case *ast.Paren:
+		return &ast.Paren{X: rewriteAligned(x.X, topLevel, f)}
+	case *ast.Unary:
+		return &ast.Unary{Op: x.Op, X: rewriteAligned(x.X, false, f)}
+	case *ast.Binary:
+		return &ast.Binary{Op: x.Op,
+			X: rewriteAligned(x.X, false, f),
+			Y: rewriteAligned(x.Y, false, f)}
+	case *ast.IfExpr:
+		out := &ast.IfExpr{
+			Cond: rewriteAligned(x.Cond, false, f),
+			Then: rewriteAligned(x.Then, topLevel, f),
+			Else: rewriteAligned(x.Else, topLevel, f),
+		}
+		for _, arm := range x.Elifs {
+			out.Elifs = append(out.Elifs, ast.ElseIf{
+				Cond: rewriteAligned(arm.Cond, false, f),
+				Then: rewriteAligned(arm.Then, topLevel, f),
+			})
+		}
+		return out
+	case *ast.Index:
+		out := &ast.Index{Base: x.Base}
+		for _, s := range x.Subs {
+			out.Subs = append(out.Subs, rewriteAligned(s, false, f))
+		}
+		return out
+	case *ast.Field:
+		return &ast.Field{Base: rewriteAligned(x.Base, false, f), Sel: x.Sel}
+	case *ast.Call:
+		out := &ast.Call{Fun: x.Fun}
+		for _, a := range x.Args {
+			out.Args = append(out.Args, rewriteAligned(a, false, f))
+		}
+		return out
+	}
+	return e
+}

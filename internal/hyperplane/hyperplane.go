@@ -1,0 +1,302 @@
+// Package hyperplane implements the restructuring transformation of paper
+// §4: given a recurrence whose schedule is fully iterative, it extracts
+// the constant-offset dependence vectors, solves the strict dependence
+// inequalities for the least integer time vector (Lamport's hyperplane
+// method), completes the time vector to a unimodular coordinate change,
+// and rewrites the module so that the standard scheduling algorithm
+// recovers an outer iterative loop with inner parallel loops.
+//
+// For the paper's revised relaxation (Equation 2) the analysis yields the
+// five inequalities a>0, b>0, c>0, a>b, a>c, the least solution
+// a=2, b=c=1, the transformation K'=2K+I+J, I'=K, J'=I with inverse
+// K=I', I=J', J=K'−2I'−J', and a transformed recurrence whose references
+// are A'[K'−1,I',J'], A'[K'−1,I',J'−1], A'[K'−1,I'−1,J'],
+// A'[K'−1,I'−1,J'+1] (boundary: A'[K'−2,I'−1,J']) — reproduced verbatim
+// by the tests.
+package hyperplane
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/intmat"
+	"repro/internal/sem"
+	"repro/internal/types"
+)
+
+// Dependence is one data dependence of the recurrence: the element
+// distance between the defined element and a referenced element, as a
+// vector over the equation's dimensions (LHS index minus RHS index).
+type Dependence struct {
+	Vec []int64
+	// Ref is the originating reference expression.
+	Ref ast.Expr
+}
+
+// String renders the vector like "(1,0,-1)".
+func (d Dependence) String() string { return vecString(d.Vec) }
+
+func vecString(v []int64) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Analysis is the result of the §4 dependence analysis of one recurrence
+// equation.
+type Analysis struct {
+	Module *sem.Module
+	Eq     *sem.Equation
+	// Array is the recursively defined array (the equation's target).
+	Array *sem.Symbol
+	// Dims are the equation's iteration dimensions, in order.
+	Dims []*types.Subrange
+	Deps []Dependence
+	// Pi is the least non-negative integer time vector with Pi·d ≥ 1 for
+	// every dependence d: element A[x] is computed at time Pi·x.
+	Pi []int64
+	// T is the unimodular coordinate change whose first row is Pi; TInv
+	// its exact integer inverse.
+	T    *intmat.Matrix
+	TInv *intmat.Matrix
+	// TransformedDeps are T·d for each dependence; their first components
+	// are ≥ 1, so the transformed schedule is DO over the new first
+	// dimension and DOALL inside.
+	TransformedDeps []Dependence
+	// Window is the §3.4 window of the transformed array's first
+	// dimension: 1 + max first component of the transformed dependences
+	// (3 for the paper's example).
+	Window int
+}
+
+// Inequalities renders the strict dependence inequalities in the paper's
+// coefficient form, e.g. "2K+I+J > 2(K-1)+I+J  =>  a > 0" reduced to the
+// coefficient side only: one string per dependence like "a > c".
+func (an *Analysis) Inequalities() []string {
+	names := make([]string, len(an.Dims))
+	for i := range an.Dims {
+		// Coefficient names a, b, c, ... in dimension order.
+		names[i] = string(rune('a' + i))
+	}
+	out := make([]string, len(an.Deps))
+	for k, d := range an.Deps {
+		var pos, neg []string
+		for i, x := range d.Vec {
+			switch {
+			case x == 1:
+				pos = append(pos, names[i])
+			case x > 1:
+				pos = append(pos, fmt.Sprintf("%d%s", x, names[i]))
+			case x == -1:
+				neg = append(neg, names[i])
+			case x < -1:
+				neg = append(neg, fmt.Sprintf("%d%s", -x, names[i]))
+			}
+		}
+		lhs := strings.Join(pos, " + ")
+		if lhs == "" {
+			lhs = "0"
+		}
+		rhs := strings.Join(neg, " + ")
+		if rhs == "" {
+			rhs = "0"
+		}
+		out[k] = fmt.Sprintf("%s > %s", lhs, rhs)
+	}
+	return out
+}
+
+// TimeEquation renders the time function, e.g. "t(A[K,I,J]) = 2K + I + J".
+func (an *Analysis) TimeEquation() string {
+	var terms []string
+	for i, c := range an.Pi {
+		name := an.Dims[i].Name
+		switch {
+		case c == 0:
+		case c == 1:
+			terms = append(terms, name)
+		default:
+			terms = append(terms, fmt.Sprintf("%d%s", c, name))
+		}
+	}
+	names := make([]string, len(an.Dims))
+	for i, d := range an.Dims {
+		names[i] = d.Name
+	}
+	return fmt.Sprintf("t(%s[%s]) = %s", an.Array.Name, strings.Join(names, ","), strings.Join(terms, " + "))
+}
+
+// Analyze extracts the dependence vectors of eq's self-references and
+// solves for the time vector and coordinate transformation. The equation
+// must define an array and reference it only with constant-offset
+// subscripts.
+func Analyze(m *sem.Module, eq *sem.Equation) (*Analysis, error) {
+	if len(eq.Targets) != 1 {
+		return nil, fmt.Errorf("hyperplane: equation %s has %d targets, want 1", eq.Label, len(eq.Targets))
+	}
+	target := eq.Targets[0].Sym
+	if _, ok := target.Type.(*types.Array); !ok {
+		return nil, fmt.Errorf("hyperplane: %s is not an array", target.Name)
+	}
+	an := &Analysis{Module: m, Eq: eq, Array: target, Dims: eq.Dims}
+
+	// The LHS must be the identity map over the equation's dimensions so
+	// that offsets are element distances.
+	if len(eq.Targets[0].Subs)+len(eq.Targets[0].Implicit) != len(eq.Dims) {
+		return nil, fmt.Errorf("hyperplane: %s does not subscript every dimension", eq.Label)
+	}
+	for i, sub := range eq.Targets[0].Subs {
+		aff := m.AnalyzeAffine(sub)
+		v, k, ok := affSingle(aff)
+		if !ok || k != 0 || v != eq.Dims[i] {
+			return nil, fmt.Errorf("hyperplane: LHS subscript %d of %s is not the identity index %s",
+				i+1, eq.Label, eq.Dims[i].Name)
+		}
+	}
+
+	// Collect self-references.
+	var badRef ast.Expr
+	ast.Inspect(eq.RHS, func(x ast.Expr) bool {
+		ix, ok := x.(*ast.Index)
+		if !ok {
+			return true
+		}
+		base, ok := ast.Unparen(ix.Base).(*ast.Ident)
+		if !ok || m.Lookup(base.Name) != target {
+			return true
+		}
+		if len(ix.Subs) != len(eq.Dims) {
+			badRef = ix
+			return false
+		}
+		vec := make([]int64, len(eq.Dims))
+		for i, sub := range ix.Subs {
+			aff := m.AnalyzeAffine(sub)
+			v, k, ok := affSingle(aff)
+			if !ok || v != eq.Dims[i] {
+				badRef = ix
+				return false
+			}
+			vec[i] = -k // subscript = dim + k ⇒ distance = -k
+		}
+		an.Deps = append(an.Deps, Dependence{Vec: vec, Ref: ix})
+		return false
+	})
+	if badRef != nil {
+		return nil, fmt.Errorf("hyperplane: reference %s is not a constant-offset self-reference",
+			ast.ExprString(badRef))
+	}
+	if len(an.Deps) == 0 {
+		return nil, fmt.Errorf("hyperplane: %s has no self-references; nothing to transform", eq.Label)
+	}
+
+	deps := make([][]int64, len(an.Deps))
+	for i, d := range an.Deps {
+		deps[i] = d.Vec
+	}
+	pi, err := SolveTimeVector(deps)
+	if err != nil {
+		return nil, err
+	}
+	an.Pi = pi
+
+	t, err := intmat.CompleteUnimodular(pi)
+	if err != nil {
+		return nil, err
+	}
+	an.T = t
+	an.TInv, err = t.InverseUnimodular()
+	if err != nil {
+		return nil, err
+	}
+
+	an.Window = 1
+	for _, d := range an.Deps {
+		td := t.MulVec(d.Vec)
+		an.TransformedDeps = append(an.TransformedDeps, Dependence{Vec: td, Ref: d.Ref})
+		if w := int(td[0]) + 1; w > an.Window {
+			an.Window = w
+		}
+	}
+	return an, nil
+}
+
+func affSingle(a *sem.Affine) (*types.Subrange, int64, bool) {
+	if a == nil {
+		return nil, 0, false
+	}
+	return a.SingleVar()
+}
+
+// SolveTimeVector finds the least non-negative integer vector pi with
+// pi·d ≥ 1 for every dependence d: minimal coefficient sum, ties broken
+// lexicographically. It reports an error when no vector with sum ≤ the
+// search bound exists (e.g. when some dependence is the zero vector or
+// two dependences oppose).
+func SolveTimeVector(deps [][]int64) ([]int64, error) {
+	if len(deps) == 0 {
+		return nil, fmt.Errorf("hyperplane: no dependences")
+	}
+	n := len(deps[0])
+	for _, d := range deps {
+		if len(d) != n {
+			return nil, fmt.Errorf("hyperplane: ragged dependence vectors")
+		}
+		zero := true
+		for _, x := range d {
+			if x != 0 {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			return nil, fmt.Errorf("hyperplane: zero dependence vector (element depends on itself)")
+		}
+	}
+	// Iterative deepening on the coefficient sum; within a sum, candidates
+	// are enumerated in lexicographic order so the first feasible vector
+	// is the canonical least solution.
+	const maxSum = 512
+	pi := make([]int64, n)
+	for sum := int64(1); sum <= maxSum; sum++ {
+		if enumerate(deps, pi, 0, sum) {
+			out := make([]int64, n)
+			copy(out, pi)
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("hyperplane: no time vector with coefficient sum ≤ %d satisfies the dependences", maxSum)
+}
+
+// enumerate assigns non-negative coefficients summing to rem to pi[i:],
+// lexicographically, returning true when a feasible assignment is found.
+func enumerate(deps [][]int64, pi []int64, i int, rem int64) bool {
+	if i == len(pi)-1 {
+		pi[i] = rem
+		return feasible(deps, pi)
+	}
+	for v := int64(0); v <= rem; v++ {
+		pi[i] = v
+		if enumerate(deps, pi, i+1, rem-v) {
+			return true
+		}
+	}
+	pi[i] = 0
+	return false
+}
+
+func feasible(deps [][]int64, pi []int64) bool {
+	for _, d := range deps {
+		var s int64
+		for i, x := range d {
+			s += pi[i] * x
+		}
+		if s < 1 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,232 @@
+package hyperplane_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/depgraph"
+	"repro/internal/hyperplane"
+	"repro/internal/parser"
+	"repro/internal/psrc"
+	"repro/internal/sem"
+)
+
+func analyzeGS(t *testing.T) (*sem.Module, *hyperplane.Analysis) {
+	t.Helper()
+	prog, err := parser.ParseProgram("gs.ps", psrc.RelaxationGS)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cp, err := sem.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	m := cp.Modules[0]
+	var eq *sem.Equation
+	for _, e := range m.Eqs {
+		if e.Label == "eq.3" {
+			eq = e
+		}
+	}
+	an, err := hyperplane.Analyze(m, eq)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return m, an
+}
+
+// TestDependenceVectors checks the five dependence vectors of the §4
+// recurrence: (1,0,0), (0,0,1), (0,1,0), (1,0,-1), (1,-1,0).
+func TestDependenceVectors(t *testing.T) {
+	_, an := analyzeGS(t)
+	want := map[string]bool{
+		"(1,0,0)": true, "(0,0,1)": true, "(0,1,0)": true,
+		"(1,0,-1)": true, "(1,-1,0)": true,
+	}
+	if len(an.Deps) != 5 {
+		t.Fatalf("got %d dependences, want 5", len(an.Deps))
+	}
+	for _, d := range an.Deps {
+		if !want[d.String()] {
+			t.Errorf("unexpected dependence %s", d)
+		}
+		delete(want, d.String())
+	}
+	for s := range want {
+		t.Errorf("missing dependence %s", s)
+	}
+}
+
+// TestTimeVectorCoefficients checks the paper's least solution a=2, b=c=1
+// for the five dependence inequalities.
+func TestTimeVectorCoefficients(t *testing.T) {
+	_, an := analyzeGS(t)
+	if len(an.Pi) != 3 || an.Pi[0] != 2 || an.Pi[1] != 1 || an.Pi[2] != 1 {
+		t.Errorf("time vector %v, want [2 1 1]", an.Pi)
+	}
+	if got := an.TimeEquation(); got != "t(A[K,I,J]) = 2K + I + J" {
+		t.Errorf("time equation %q", got)
+	}
+	ineqs := strings.Join(an.Inequalities(), "; ")
+	for _, want := range []string{"a > 0", "c > 0", "b > 0", "a > c", "a > b"} {
+		if !strings.Contains(ineqs, want) {
+			t.Errorf("inequalities %q missing %q", ineqs, want)
+		}
+	}
+}
+
+// TestUnimodularCompletion checks T = [[2,1,1],[1,0,0],[0,1,0]] (K'=2K+I+J,
+// I'=K, J'=I) and its inverse (K=I', I=J', J=K'-2I'-J').
+func TestUnimodularCompletion(t *testing.T) {
+	_, an := analyzeGS(t)
+	if got := an.T.String(); got != "[2 1 1]; [1 0 0]; [0 1 0]" {
+		t.Errorf("T = %s, want [2 1 1]; [1 0 0]; [0 1 0]", got)
+	}
+	if got := an.TInv.String(); got != "[0 1 0]; [0 0 1]; [1 -2 -1]" {
+		t.Errorf("T⁻¹ = %s, want [0 1 0]; [0 0 1]; [1 -2 -1]", got)
+	}
+}
+
+// TestTransformedOffsets checks the §4 rewritten recurrence: the boundary
+// reference becomes offset (2,1,0) and the interior references (1,0,0),
+// (1,0,1), (1,1,0) and (1,1,-1) — i.e. A'[K'-2,I'-1,J'], A'[K'-1,I',J'],
+// A'[K'-1,I',J'-1], A'[K'-1,I'-1,J'], A'[K'-1,I'-1,J'+1].
+func TestTransformedOffsets(t *testing.T) {
+	_, an := analyzeGS(t)
+	want := map[string]bool{
+		"(2,1,0)": true, "(1,0,0)": true, "(1,0,1)": true,
+		"(1,1,0)": true, "(1,1,-1)": true,
+	}
+	for _, d := range an.TransformedDeps {
+		if !want[d.String()] {
+			t.Errorf("unexpected transformed dependence %s", d)
+		}
+		delete(want, d.String())
+	}
+	for s := range want {
+		t.Errorf("missing transformed dependence %s", s)
+	}
+	if an.Window != 3 {
+		t.Errorf("window %d, want 3 (references reach K'-2)", an.Window)
+	}
+}
+
+// TestRescheduleAfterTransform applies the full §4 transformation and
+// verifies that rescheduling recovers the Figure 6 shape: the recurrence
+// becomes DO <time> (DOALL (DOALL)), where the untransformed program was
+// the all-iterative Figure 7.
+func TestRescheduleAfterTransform(t *testing.T) {
+	_, an := analyzeGS(t)
+	res, err := hyperplane.Transform(an)
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	prog, err := parser.ParseProgram("gsh.ps", res.Source)
+	if err != nil {
+		t.Fatalf("reparse transformed module: %v\nsource:\n%s", err, res.Source)
+	}
+	cp, err := sem.Check(prog)
+	if err != nil {
+		t.Fatalf("recheck transformed module: %v\nsource:\n%s", err, res.Source)
+	}
+	sched, err := core.Build(depgraph.Build(cp.Modules[0]))
+	if err != nil {
+		t.Fatalf("reschedule: %v\nsource:\n%s", err, res.Source)
+	}
+	got := sched.Flowchart.Compact()
+	want := "DOALL I (DOALL J (eq.1)); DO Kt (DOALL K (DOALL I (eq.3))); DOALL I (DOALL J (eq.2))"
+	if got != want {
+		t.Errorf("transformed schedule:\n got:  %s\n want: %s\nsource:\n%s", got, want, res.Source)
+	}
+}
+
+// TestTransformedSourceShape spot-checks the printed transformed module
+// against the paper's rewritten equation.
+func TestTransformedSourceShape(t *testing.T) {
+	_, an := analyzeGS(t)
+	res, err := hyperplane.Transform(an)
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	for _, want := range []string{
+		"At[Kt,K,I]",                  // transformed recurrence LHS
+		"At[Kt - 2,K - 1,I]",          // boundary carry A'[K'-2,I'-1,J']
+		"At[Kt - 1,K,I]",              // interior A'[K'-1,I',J']
+		"At[Kt - 1,K,I - 1]",          // A'[K'-1,I',J'-1]
+		"At[Kt - 1,K - 1,I]",          // A'[K'-1,I'-1,J']
+		"At[Kt - 1,K - 1,I + 1]",      // A'[K'-1,I'-1,J'+1]
+		"At[I + J + 2,1,I]",           // rotation of the input plane (K'=2·1+I+J)
+		"At[2 * maxK + I + J,maxK,I]", // unrotation into the result
+	} {
+		if !strings.Contains(res.Source, want) {
+			t.Errorf("transformed source missing %q\nsource:\n%s", want, res.Source)
+		}
+	}
+}
+
+// TestSolveTimeVector exercises the solver on hand-checked systems.
+func TestSolveTimeVector(t *testing.T) {
+	cases := []struct {
+		name string
+		deps [][]int64
+		want []int64
+	}{
+		{"paper", [][]int64{{1, 0, 0}, {0, 0, 1}, {0, 1, 0}, {1, 0, -1}, {1, -1, 0}}, []int64{2, 1, 1}},
+		{"forward-only", [][]int64{{1, 0}, {0, 1}}, []int64{1, 1}},
+		{"single-dim", [][]int64{{2}}, []int64{1}},
+		{"skewed", [][]int64{{1, -2}}, []int64{1, 0}},
+		{"wavefront", [][]int64{{1, 0}, {0, 1}, {1, 1}}, []int64{1, 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := hyperplane.SolveTimeVector(tc.deps)
+			if err != nil {
+				t.Fatalf("solve: %v", err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("got %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestSolveInfeasible checks error reporting for unsatisfiable systems.
+func TestSolveInfeasible(t *testing.T) {
+	if _, err := hyperplane.SolveTimeVector([][]int64{{1, 0}, {-1, 0}}); err == nil {
+		t.Error("opposing dependences: expected error")
+	}
+	if _, err := hyperplane.SolveTimeVector([][]int64{{0, 0}}); err == nil {
+		t.Error("zero dependence: expected error")
+	}
+}
+
+// TestAnalyzeRejects verifies diagnostics for non-transformable equations.
+func TestAnalyzeRejects(t *testing.T) {
+	prog, err := parser.ParseProgram("jacobi.ps", psrc.Relaxation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := sem.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cp.Modules[0]
+	// eq.2 (newA = A[maxK]) has no self-references.
+	var eq2 *sem.Equation
+	for _, e := range m.Eqs {
+		if e.Label == "eq.2" {
+			eq2 = e
+		}
+	}
+	if _, err := hyperplane.Analyze(m, eq2); err == nil {
+		t.Error("expected Analyze to reject an equation without self-references")
+	}
+	_ = ast.ExprString // keep import for doc reference
+}

@@ -1,0 +1,332 @@
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/depgraph"
+	"repro/internal/par"
+	"repro/internal/sem"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// Options control execution.
+type Options struct {
+	// Workers is the DOALL worker count; <= 0 uses all CPUs.
+	Workers int
+	// Sequential forces every loop — including DOALLs — to run serially
+	// (the baseline an iterative-only scheduler would produce).
+	Sequential bool
+	// Strict enables single-assignment and undefined-read checking.
+	Strict bool
+	// NoVirtual disables window allocation, physically allocating every
+	// dimension (the ablation baseline for §3.4).
+	NoVirtual bool
+	// Grain is the minimum iterations per parallel chunk.
+	Grain int64
+	// Fuse executes the loop-fusion variant of the schedule (the §5
+	// "merge iterative loops" extension).
+	Fuse bool
+}
+
+// Program is a compiled, runnable PS program.
+type Program struct {
+	Prog   *sem.Program
+	Scheds map[*sem.Module]*core.Schedule
+	mods   map[*sem.Module]*compiledModule
+}
+
+// runtimeError wraps execution failures carried by panic across the
+// evaluator (subscript errors, division by zero, strict violations).
+type runtimeError struct{ err error }
+
+// Compile prepares every module of a checked program for execution,
+// scheduling each module's dependency graph with the core scheduler.
+func Compile(prog *sem.Program) (*Program, error) {
+	p := &Program{
+		Prog:   prog,
+		Scheds: make(map[*sem.Module]*core.Schedule),
+		mods:   make(map[*sem.Module]*compiledModule),
+	}
+	for _, m := range prog.Modules {
+		if _, done := p.mods[m]; done {
+			continue
+		}
+		if _, err := p.compileCallee(m); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// compileCallee schedules and compiles one module on demand.
+func (p *Program) compileCallee(m *sem.Module) (*compiledModule, error) {
+	g := depgraph.Build(m)
+	sched, err := core.Build(g)
+	if err != nil {
+		return nil, err
+	}
+	p.Scheds[m] = sched
+	return p.compileModule(m, sched)
+}
+
+// Schedule returns the flowchart computed for a module.
+func (p *Program) Schedule(name string) *core.Schedule {
+	m := p.Prog.Module(name)
+	if m == nil {
+		return nil
+	}
+	return p.Scheds[m]
+}
+
+// env is the runtime state of one module activation.
+type env struct {
+	cm      *compiledModule
+	scalars []any
+	arrays  []*value.Array
+	opts    Options
+	strict  bool
+	pool    *par.Pool
+	// inParallel marks that an enclosing DOALL is already distributing
+	// work, so nested DOALLs run sequentially within each worker.
+	inParallel bool
+}
+
+// Run executes the named module with the given arguments. Scalar
+// arguments are Go ints/floats/bools; array arguments are *value.Array.
+// It returns one value per declared result.
+func (p *Program) Run(name string, args []any, opts Options) ([]any, error) {
+	m := p.Prog.Module(name)
+	if m == nil {
+		return nil, fmt.Errorf("interp: no module %s", name)
+	}
+	return p.runModule(p.mods[m], args, opts)
+}
+
+func (p *Program) runModule(cm *compiledModule, args []any, opts Options) (results []any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch e := r.(type) {
+			case runtimeError:
+				err = fmt.Errorf("interp: module %s: %w", cm.m.Name, e.err)
+			case value.Error:
+				err = fmt.Errorf("interp: module %s: %w", cm.m.Name, e)
+			default:
+				panic(r)
+			}
+		}
+	}()
+	m := cm.m
+	if len(args) != len(m.Params) {
+		return nil, fmt.Errorf("interp: module %s takes %d arguments, got %d", m.Name, len(m.Params), len(args))
+	}
+	en := &env{
+		cm:      cm,
+		scalars: make([]any, len(cm.syms)),
+		arrays:  make([]*value.Array, len(cm.syms)),
+		opts:    opts,
+		strict:  opts.Strict,
+	}
+	if !opts.Sequential {
+		// One persistent worker pool per activation: DOALL planes inside
+		// an iterative loop reuse the parked workers instead of spawning
+		// goroutines per plane.
+		en.pool = par.NewPool(opts.Workers)
+		en.pool.SetGrain(opts.Grain)
+		defer en.pool.Close()
+	}
+
+	// Bind parameters.
+	for i, sym := range m.Params {
+		si := cm.symIdx[sym]
+		v, cerr := coerceArg(args[i], sym.Type)
+		if cerr != nil {
+			return nil, fmt.Errorf("interp: module %s argument %d (%s): %w", m.Name, i+1, sym.Name, cerr)
+		}
+		if a, isArr := v.(*value.Array); isArr {
+			en.arrays[si] = a
+		} else {
+			en.scalars[si] = v
+		}
+	}
+
+	// Allocate result and local arrays, honoring virtual dimensions.
+	windows := make(map[*sem.Symbol]map[int]int)
+	if !opts.NoVirtual {
+		for _, v := range cm.sched.Virtual {
+			if windows[v.Sym] == nil {
+				windows[v.Sym] = make(map[int]int)
+			}
+			windows[v.Sym][v.Dim] = v.Window
+		}
+	}
+	fr := make([]int64, cm.nSlots)
+	for _, sym := range append(append([]*sem.Symbol{}, m.Results...), m.Locals...) {
+		si := cm.symIdx[sym]
+		arr, isArr := sym.Type.(*types.Array)
+		if !isArr {
+			continue
+		}
+		axes := make([]value.Axis, len(arr.Dims))
+		for d, sr := range arr.Dims {
+			b := cm.dimBounds[sr]
+			axes[d] = value.Axis{Lo: b[0](en, fr), Hi: b[1](en, fr)}
+			if w, ok := windows[sym][d]; ok {
+				axes[d].Window = w
+			}
+		}
+		a := value.NewArray(arr.Elem.Kind(), axes)
+		if opts.Strict {
+			a.EnableStrict()
+		}
+		en.arrays[si] = a
+	}
+
+	// Execute the flowchart (optionally the loop-fused variant).
+	fc := cm.sched.Flowchart
+	if opts.Fuse {
+		fc = cm.fused
+	}
+	p.execFlowchart(en, fc, fr)
+
+	// Collect results.
+	results = make([]any, len(m.Results))
+	for i, sym := range m.Results {
+		si := cm.symIdx[sym]
+		if en.arrays[si] != nil {
+			results[i] = en.arrays[si]
+		} else {
+			results[i] = en.scalars[si]
+		}
+	}
+	return results, nil
+}
+
+// coerceArg converts a Go argument to the runtime representation of t.
+func coerceArg(v any, t types.Type) (any, error) {
+	switch t.Kind() {
+	case types.RealKind:
+		switch x := v.(type) {
+		case float64:
+			return x, nil
+		case int:
+			return float64(x), nil
+		case int64:
+			return float64(x), nil
+		}
+	case types.IntKind, types.SubrangeKind, types.CharKind, types.EnumKind:
+		switch x := v.(type) {
+		case int64:
+			return x, nil
+		case int:
+			return int64(x), nil
+		}
+	case types.BoolKind:
+		if x, ok := v.(bool); ok {
+			return x, nil
+		}
+	case types.StringKind:
+		if x, ok := v.(string); ok {
+			return x, nil
+		}
+	case types.ArrayKind:
+		if a, ok := v.(*value.Array); ok {
+			if a.Rank() != types.Rank(t) {
+				return nil, fmt.Errorf("array rank %d, want %d", a.Rank(), types.Rank(t))
+			}
+			return a, nil
+		}
+	case types.RecordKind:
+		if r, ok := v.(*value.Record); ok {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("cannot use %T as %s", v, t)
+}
+
+// execFlowchart runs the descriptors in order at the current frame.
+func (p *Program) execFlowchart(en *env, fc core.Flowchart, fr []int64) {
+	for _, d := range fc {
+		switch x := d.(type) {
+		case *core.NodeDesc:
+			if x.Node.Kind == depgraph.EquationNode {
+				en.cm.eqs[x.Node.Eq].exec(en, fr)
+			}
+		case *core.LoopDesc:
+			p.execLoop(en, x, fr)
+		}
+	}
+}
+
+func (p *Program) execLoop(en *env, loop *core.LoopDesc, fr []int64) {
+	b := en.cm.dimBounds[loop.Subrange]
+	lo, hi := b[0](en, fr), b[1](en, fr)
+	slot := en.cm.slotOf[loop.Subrange]
+
+	parallel := loop.Parallel && en.pool != nil && !en.inParallel &&
+		en.pool.Workers() != 1 && hi >= lo
+	if !parallel {
+		for i := lo; i <= hi; i++ {
+			fr[slot] = i
+			p.execFlowchart(en, loop.Body, fr)
+		}
+		return
+	}
+
+	// DOALL: collapse a nest of directly nested parallel loops into one
+	// linear iteration space, so a skinny outer DOALL (e.g. the plane of
+	// a §4 wavefront schedule, whose outer parallel range can be much
+	// shorter than the inner one) still yields enough chunks for every
+	// worker. PS subrange bounds depend only on module parameters, so
+	// inner bounds are loop-invariant.
+	type pdim struct {
+		slot int
+		lo   int64
+		n    int64
+	}
+	dims := []pdim{{slot: slot, lo: lo, n: hi - lo + 1}}
+	body := loop.Body
+	total := hi - lo + 1
+	for len(body) == 1 {
+		inner, ok := body[0].(*core.LoopDesc)
+		if !ok || !inner.Parallel {
+			break
+		}
+		b := en.cm.dimBounds[inner.Subrange]
+		ilo, ihi := b[0](en, fr), b[1](en, fr)
+		if ihi < ilo {
+			return // empty inner range: no equation instances at all
+		}
+		dims = append(dims, pdim{slot: en.cm.slotOf[inner.Subrange], lo: ilo, n: ihi - ilo + 1})
+		body = inner.Body
+		total *= ihi - ilo + 1
+	}
+
+	// Each worker uses a private frame and runs any remaining nested
+	// loops sequentially. The linear index decomposes with the innermost
+	// dimension fastest, preserving row-major locality.
+	var panicked any
+	en.pool.ForRanges(0, total-1, func(start, end int64) {
+		defer func() {
+			if r := recover(); r != nil && panicked == nil {
+				panicked = r
+			}
+		}()
+		sub := *en
+		sub.inParallel = true
+		frCopy := make([]int64, len(fr))
+		copy(frCopy, fr)
+		for li := start; li <= end; li++ {
+			rem := li
+			for d := len(dims) - 1; d >= 0; d-- {
+				frCopy[dims[d].slot] = dims[d].lo + rem%dims[d].n
+				rem /= dims[d].n
+			}
+			p.execFlowchart(&sub, body, frCopy)
+		}
+	})
+	if panicked != nil {
+		panic(panicked)
+	}
+}

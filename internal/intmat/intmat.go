@@ -1,0 +1,347 @@
+// Package intmat provides exact integer matrix arithmetic for the
+// hyperplane coordinate transformation of paper §4: determinants,
+// unimodular completion of a time vector to a full coordinate change, and
+// exact inverses of unimodular matrices.
+package intmat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Matrix is a dense row-major integer matrix.
+type Matrix struct {
+	R, C int
+	A    []int64
+}
+
+// New returns an R×C zero matrix.
+func New(r, c int) *Matrix {
+	return &Matrix{R: r, C: c, A: make([]int64, r*c)}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// FromRows builds a matrix from row slices (which must be equal length).
+func FromRows(rows [][]int64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.C {
+			panic("intmat: ragged rows")
+		}
+		copy(m.A[i*m.C:], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) int64 { return m.A[i*m.C+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v int64) { m.A[i*m.C+j] = v }
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []int64 {
+	out := make([]int64, m.C)
+	copy(out, m.A[i*m.C:(i+1)*m.C])
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.R, m.C)
+	copy(out.A, m.A)
+	return out
+}
+
+// String renders the matrix in bracketed rows.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.R; i++ {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		sb.WriteByte('[')
+		for j := 0; j < m.C; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%d", m.At(i, j))
+		}
+		sb.WriteByte(']')
+	}
+	return sb.String()
+}
+
+// Mul returns m·n.
+func (m *Matrix) Mul(n *Matrix) *Matrix {
+	if m.C != n.R {
+		panic("intmat: dimension mismatch")
+	}
+	out := New(m.R, n.C)
+	for i := 0; i < m.R; i++ {
+		for k := 0; k < m.C; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < n.C; j++ {
+				out.A[i*out.C+j] += a * n.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m·v.
+func (m *Matrix) MulVec(v []int64) []int64 {
+	if m.C != len(v) {
+		panic("intmat: dimension mismatch")
+	}
+	out := make([]int64, m.R)
+	for i := 0; i < m.R; i++ {
+		var s int64
+		for j := 0; j < m.C; j++ {
+			s += m.At(i, j) * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Det computes the determinant by fraction-free (Bareiss) elimination.
+func (m *Matrix) Det() int64 {
+	if m.R != m.C {
+		panic("intmat: determinant of non-square matrix")
+	}
+	n := m.R
+	if n == 0 {
+		return 1
+	}
+	w := m.Clone()
+	sign := int64(1)
+	prev := int64(1)
+	for k := 0; k < n-1; k++ {
+		if w.At(k, k) == 0 {
+			// Pivot: find a row below with nonzero entry.
+			swapped := false
+			for i := k + 1; i < n; i++ {
+				if w.At(i, k) != 0 {
+					for j := 0; j < n; j++ {
+						a, b := w.At(k, j), w.At(i, j)
+						w.Set(k, j, b)
+						w.Set(i, j, a)
+					}
+					sign = -sign
+					swapped = true
+					break
+				}
+			}
+			if !swapped {
+				return 0
+			}
+		}
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j < n; j++ {
+				num := w.At(i, j)*w.At(k, k) - w.At(i, k)*w.At(k, j)
+				w.Set(i, j, num/prev)
+			}
+			w.Set(i, k, 0)
+		}
+		prev = w.At(k, k)
+	}
+	return sign * w.At(n-1, n-1)
+}
+
+// InverseUnimodular inverts a matrix with determinant ±1 exactly, via the
+// adjugate. It returns an error for other determinants.
+func (m *Matrix) InverseUnimodular() (*Matrix, error) {
+	if m.R != m.C {
+		return nil, fmt.Errorf("intmat: cannot invert %dx%d matrix", m.R, m.C)
+	}
+	d := m.Det()
+	if d != 1 && d != -1 {
+		return nil, fmt.Errorf("intmat: matrix is not unimodular (det %d)", d)
+	}
+	n := m.R
+	inv := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			c := m.cofactor(j, i) // adjugate is the transposed cofactor matrix
+			inv.Set(i, j, c/d)
+		}
+	}
+	return inv, nil
+}
+
+// cofactor returns (-1)^(i+j) times the (i,j) minor.
+func (m *Matrix) cofactor(i, j int) int64 {
+	n := m.R
+	sub := New(n-1, n-1)
+	for r, sr := 0, 0; r < n; r++ {
+		if r == i {
+			continue
+		}
+		for c, sc := 0, 0; c < n; c++ {
+			if c == j {
+				continue
+			}
+			sub.Set(sr, sc, m.At(r, c))
+			sc++
+		}
+		sr++
+	}
+	d := sub.Det()
+	if (i+j)%2 == 1 {
+		d = -d
+	}
+	return d
+}
+
+// Gcd returns the non-negative greatest common divisor of a and b.
+func Gcd(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// GcdVec returns the gcd of all entries (0 for the empty or zero vector).
+func GcdVec(v []int64) int64 {
+	var g int64
+	for _, x := range v {
+		g = Gcd(g, x)
+	}
+	return g
+}
+
+// CompleteUnimodular returns a square matrix T with first row pi and
+// |det T| = 1. gcd(pi) must be 1.
+//
+// When some coefficient pi[j] is ±1, the completion uses standard basis
+// rows for every other index — the paper's construction, which for
+// pi = (2,1,1) yields T = [[2,1,1],[1,0,0],[0,1,0]], i.e. K' = 2K+I+J,
+// I' = K, J' = I. The omitted index is the last unit coefficient, matching
+// the paper's choice. Otherwise a general completion is built by running
+// extended-Euclid column operations on pi and inverting them.
+func CompleteUnimodular(pi []int64) (*Matrix, error) {
+	n := len(pi)
+	if n == 0 {
+		return nil, fmt.Errorf("intmat: empty time vector")
+	}
+	if g := GcdVec(pi); g != 1 {
+		return nil, fmt.Errorf("intmat: time vector %v has gcd %d, want 1", pi, g)
+	}
+	// Preferred: omit the last index with a unit coefficient and use
+	// standard basis rows for the remaining indices in order.
+	for j := n - 1; j >= 0; j-- {
+		if pi[j] == 1 || pi[j] == -1 {
+			t := New(n, n)
+			copy(t.A[:n], pi)
+			row := 1
+			for i := 0; i < n; i++ {
+				if i == j {
+					continue
+				}
+				t.Set(row, i, 1)
+				row++
+			}
+			if d := t.Det(); d != 1 && d != -1 {
+				return nil, fmt.Errorf("intmat: internal: basis completion det %d", d)
+			}
+			return t, nil
+		}
+	}
+	return completeGeneral(pi)
+}
+
+// completeGeneral builds the completion when no coefficient is ±1:
+// column operations reduce pi to (1,0,...,0); the same operations applied
+// to the identity give U with pi·U = e1; then T = U^{-1} has first row pi.
+func completeGeneral(pi []int64) (*Matrix, error) {
+	n := len(pi)
+	v := make([]int64, n)
+	copy(v, pi)
+	uInv := Identity(n) // maintained so that uInv's first row stays pi·(ops)⁻¹... see below
+
+	// We apply column ops to v; for each we apply the inverse row op to
+	// uInv, preserving the invariant  (current v) = pi · U  and
+	// uInv = U^{-1}. At the end v = e1·g, so U^{-1}'s first row is pi/g.
+	// Column op: v[i] -= q*v[j]  ⇔  U ← U·E(j,i,-q) ⇔ U⁻¹ ← E(j,i,q)·U⁻¹,
+	// which is the row op  row_j += q·row_i  on U⁻¹.
+	for {
+		// Find the two smallest-magnitude nonzero entries.
+		p := -1
+		for i := 0; i < n; i++ {
+			if v[i] != 0 && (p < 0 || abs64(v[i]) < abs64(v[p])) {
+				p = i
+			}
+		}
+		if p < 0 {
+			return nil, fmt.Errorf("intmat: zero time vector")
+		}
+		done := true
+		for i := 0; i < n; i++ {
+			if i == p || v[i] == 0 {
+				continue
+			}
+			q := v[i] / v[p]
+			if q != 0 {
+				v[i] -= q * v[p]
+				// Row op on uInv: row_p += q·row_i.
+				for c := 0; c < n; c++ {
+					uInv.Set(p, c, uInv.At(p, c)+q*uInv.At(i, c))
+				}
+			}
+			if v[i] != 0 {
+				done = false
+			}
+		}
+		if done {
+			// v has a single nonzero entry v[p] = ±1 (gcd is 1).
+			if v[p] != 1 && v[p] != -1 {
+				return nil, fmt.Errorf("intmat: reduction reached %d, want ±1", v[p])
+			}
+			if v[p] == -1 {
+				for c := 0; c < n; c++ {
+					uInv.Set(p, c, -uInv.At(p, c))
+				}
+			}
+			// Move the pivot row first.
+			if p != 0 {
+				for c := 0; c < n; c++ {
+					a, b := uInv.At(0, c), uInv.At(p, c)
+					uInv.Set(0, c, b)
+					uInv.Set(p, c, a)
+				}
+			}
+			if d := uInv.Det(); d != 1 && d != -1 {
+				return nil, fmt.Errorf("intmat: internal: general completion det %d", d)
+			}
+			return uInv, nil
+		}
+	}
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

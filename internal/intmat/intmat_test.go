@@ -1,0 +1,157 @@
+package intmat_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/intmat"
+)
+
+// TestDet covers determinants including pivoting cases.
+func TestDet(t *testing.T) {
+	cases := []struct {
+		rows [][]int64
+		want int64
+	}{
+		{[][]int64{{1}}, 1},
+		{[][]int64{{2, 0}, {0, 3}}, 6},
+		{[][]int64{{0, 1}, {1, 0}}, -1},
+		{[][]int64{{1, 2}, {3, 4}}, -2},
+		{[][]int64{{2, 1, 1}, {1, 0, 0}, {0, 1, 0}}, 1}, // the paper's T
+		{[][]int64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}, 0},
+		{[][]int64{{0, 0, 1}, {0, 1, 0}, {1, 0, 0}}, -1},
+		{[][]int64{{3, 1, 0, 2}, {0, 2, 1, 1}, {1, 0, 2, 0}, {2, 1, 1, 3}}, 22},
+	}
+	for _, tc := range cases {
+		m := intmat.FromRows(tc.rows)
+		if got := m.Det(); got != tc.want {
+			t.Errorf("det(%s) = %d, want %d", m, got, tc.want)
+		}
+	}
+}
+
+// TestInverseUnimodular checks exact inverses.
+func TestInverseUnimodular(t *testing.T) {
+	m := intmat.FromRows([][]int64{{2, 1, 1}, {1, 0, 0}, {0, 1, 0}})
+	inv, err := m.InverseUnimodular()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inv.String(); got != "[0 1 0]; [0 0 1]; [1 -2 -1]" {
+		t.Errorf("inverse = %s", got)
+	}
+	prod := m.Mul(inv)
+	if prod.String() != intmat.Identity(3).String() {
+		t.Errorf("m·inv = %s, want identity", prod)
+	}
+
+	if _, err := intmat.FromRows([][]int64{{2, 0}, {0, 2}}).InverseUnimodular(); err == nil {
+		t.Error("non-unimodular matrix inverted without error")
+	}
+}
+
+// TestCompleteUnimodularPaper reproduces the paper's completion.
+func TestCompleteUnimodularPaper(t *testing.T) {
+	tm, err := intmat.CompleteUnimodular([]int64{2, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tm.String(); got != "[2 1 1]; [1 0 0]; [0 1 0]" {
+		t.Errorf("completion = %s, want the paper's [2 1 1]; [1 0 0]; [0 1 0]", got)
+	}
+}
+
+// TestCompleteUnimodularGeneral exercises the extended-Euclid path where
+// no coefficient is ±1.
+func TestCompleteUnimodularGeneral(t *testing.T) {
+	for _, pi := range [][]int64{
+		{2, 3},
+		{3, 5, 7},
+		{6, 10, 15},
+		{4, 9},
+		{5, 7, 9, 11},
+	} {
+		tm, err := intmat.CompleteUnimodular(pi)
+		if err != nil {
+			t.Errorf("complete(%v): %v", pi, err)
+			continue
+		}
+		for j, c := range pi {
+			if tm.At(0, j) != c {
+				t.Errorf("complete(%v): first row %v", pi, tm.Row(0))
+				break
+			}
+		}
+		if d := tm.Det(); d != 1 && d != -1 {
+			t.Errorf("complete(%v): det %d", pi, d)
+		}
+	}
+	if _, err := intmat.CompleteUnimodular([]int64{2, 4}); err == nil {
+		t.Error("gcd 2 vector completed without error")
+	}
+}
+
+// TestCompleteUnimodularProperty is a property test: random coprime
+// vectors complete to a unimodular matrix with the vector as first row
+// and an exact integer inverse.
+func TestCompleteUnimodularProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%4) + 2
+		pi := make([]int64, n)
+		for {
+			for i := range pi {
+				pi[i] = int64(r.Intn(30))
+			}
+			if intmat.GcdVec(pi) == 1 {
+				break
+			}
+			// Force progress toward coprimality.
+			pi[r.Intn(n)] = 1
+		}
+		tm, err := intmat.CompleteUnimodular(pi)
+		if err != nil {
+			return false
+		}
+		for j, c := range pi {
+			if tm.At(0, j) != c {
+				return false
+			}
+		}
+		if d := tm.Det(); d != 1 && d != -1 {
+			return false
+		}
+		inv, err := tm.InverseUnimodular()
+		if err != nil {
+			return false
+		}
+		return tm.Mul(inv).String() == intmat.Identity(n).String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMulVec checks matrix-vector products used for dependence
+// transformation.
+func TestMulVec(t *testing.T) {
+	tm := intmat.FromRows([][]int64{{2, 1, 1}, {1, 0, 0}, {0, 1, 0}})
+	got := tm.MulVec([]int64{1, 0, -1})
+	if got[0] != 1 || got[1] != 1 || got[2] != 0 {
+		t.Errorf("T·(1,0,-1) = %v, want [1 1 0]", got)
+	}
+}
+
+// TestGcd covers the gcd helpers.
+func TestGcd(t *testing.T) {
+	cases := [][3]int64{{12, 18, 6}, {7, 13, 1}, {0, 5, 5}, {-4, 6, 2}, {0, 0, 0}}
+	for _, c := range cases {
+		if got := intmat.Gcd(c[0], c[1]); got != c[2] {
+			t.Errorf("gcd(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+	if got := intmat.GcdVec([]int64{6, 10, 15}); got != 1 {
+		t.Errorf("gcdvec = %d, want 1", got)
+	}
+}

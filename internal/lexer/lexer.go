@@ -1,0 +1,312 @@
+// Package lexer implements the scanner for PS source text.
+//
+// The scanner handles Pascal-style lexical conventions: case-insensitive
+// keywords, (* ... *) comments (nesting allowed), integer and real literals
+// with exponents, and quoted string/char literals.
+package lexer
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+// Token is one lexical token with its source span and literal text.
+type Token struct {
+	Kind token.Kind
+	Lit  string // literal text for IDENT/INT/REAL/STRING/CHAR/COMMENT/ILLEGAL
+	Pos  source.Pos
+	End  source.Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	if t.Kind.IsLiteral() || t.Kind == token.ILLEGAL || t.Kind == token.COMMENT {
+		return t.Kind.String() + "(" + t.Lit + ")"
+	}
+	return t.Kind.String()
+}
+
+// Lexer scans PS source text into tokens. Create one with New.
+type Lexer struct {
+	src     string
+	file    *source.File
+	errs    *source.ErrorList
+	offset  int // current reading offset
+	ch      rune
+	chWidth int
+	keepCmt bool
+}
+
+// Option configures a Lexer.
+type Option func(*Lexer)
+
+// KeepComments makes Next return COMMENT tokens instead of skipping them.
+func KeepComments() Option { return func(l *Lexer) { l.keepCmt = true } }
+
+// New returns a Lexer for the given file name and source text. Diagnostics
+// are recorded in errs (which may be nil to discard them).
+func New(name, src string, errs *source.ErrorList, opts ...Option) *Lexer {
+	if errs == nil {
+		errs = source.NewErrorList(name)
+	}
+	l := &Lexer{src: src, file: source.NewFile(name, src), errs: errs}
+	for _, o := range opts {
+		o(l)
+	}
+	l.advance()
+	return l
+}
+
+// File returns the indexed source file for position mapping.
+func (l *Lexer) File() *source.File { return l.file }
+
+func (l *Lexer) advance() {
+	if l.offset+l.chWidth >= len(l.src)+1 && l.ch == -1 {
+		return
+	}
+	l.offset += l.chWidth
+	if l.offset >= len(l.src) {
+		l.ch = -1
+		l.chWidth = 0
+		return
+	}
+	r, w := rune(l.src[l.offset]), 1
+	if r >= utf8.RuneSelf {
+		r, w = utf8.DecodeRuneInString(l.src[l.offset:])
+	}
+	l.ch = r
+	l.chWidth = w
+}
+
+func (l *Lexer) peek() rune {
+	if l.offset+l.chWidth >= len(l.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.offset+l.chWidth:])
+	return r
+}
+
+func (l *Lexer) pos() source.Pos { return l.file.PosFor(l.offset) }
+
+func isLetter(ch rune) bool {
+	return ch == '_' || unicode.IsLetter(ch)
+}
+
+func isDigit(ch rune) bool { return '0' <= ch && ch <= '9' }
+
+// Next returns the next token. At end of input it returns EOF forever.
+func (l *Lexer) Next() Token {
+	for {
+		l.skipWhitespace()
+		start := l.pos()
+		switch {
+		case l.ch == -1:
+			return Token{Kind: token.EOF, Pos: start, End: start}
+		case isLetter(l.ch):
+			lit := l.scanIdent()
+			kind := token.Lookup(lit)
+			return Token{Kind: kind, Lit: lit, Pos: start, End: l.pos()}
+		case isDigit(l.ch):
+			kind, lit := l.scanNumber()
+			return Token{Kind: kind, Lit: lit, Pos: start, End: l.pos()}
+		case l.ch == '\'':
+			kind, lit := l.scanString()
+			return Token{Kind: kind, Lit: lit, Pos: start, End: l.pos()}
+		case l.ch == '(' && l.peek() == '*':
+			lit, ok := l.scanComment()
+			if !ok {
+				l.errs.Addf(start, "unterminated comment")
+			}
+			if l.keepCmt {
+				return Token{Kind: token.COMMENT, Lit: lit, Pos: start, End: l.pos()}
+			}
+			continue
+		default:
+			return l.scanOperator(start)
+		}
+	}
+}
+
+// All scans the remaining input and returns every token up to and including
+// EOF. It is a convenience for tests and tools.
+func (l *Lexer) All() []Token {
+	var toks []Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}
+
+func (l *Lexer) skipWhitespace() {
+	for l.ch == ' ' || l.ch == '\t' || l.ch == '\r' || l.ch == '\n' {
+		l.advance()
+	}
+}
+
+func (l *Lexer) scanIdent() string {
+	start := l.offset
+	for isLetter(l.ch) || isDigit(l.ch) {
+		l.advance()
+	}
+	return l.src[start:l.offset]
+}
+
+func (l *Lexer) scanNumber() (token.Kind, string) {
+	start := l.offset
+	kind := token.INT
+	for isDigit(l.ch) {
+		l.advance()
+	}
+	// A '.' begins a real literal only if followed by a digit; '..' is the
+	// subrange operator and must not be consumed here (e.g. "0 .. M+1" and
+	// "0..10" both lex as INT DOTDOT).
+	if l.ch == '.' && isDigit(l.peek()) {
+		kind = token.REAL
+		l.advance()
+		for isDigit(l.ch) {
+			l.advance()
+		}
+	}
+	if l.ch == 'e' || l.ch == 'E' {
+		// Exponent part makes it a real: 1e9, 2.5E-3.
+		save, saveW := l.offset, l.chWidth
+		l.advance()
+		if l.ch == '+' || l.ch == '-' {
+			l.advance()
+		}
+		if isDigit(l.ch) {
+			kind = token.REAL
+			for isDigit(l.ch) {
+				l.advance()
+			}
+		} else {
+			// Not an exponent after all (e.g. "3elements"); rewind.
+			l.offset, l.chWidth = save, saveW
+			r, w := utf8.DecodeRuneInString(l.src[l.offset:])
+			l.ch, l.chWidth = r, w
+			_ = saveW
+		}
+	}
+	return kind, l.src[start:l.offset]
+}
+
+func (l *Lexer) scanString() (token.Kind, string) {
+	// PS uses Pascal-style quoted literals: 'abc', with '' as an escaped
+	// quote. A one-character literal is reported as CHAR.
+	l.advance() // consume opening quote
+	var sb strings.Builder
+	for {
+		if l.ch == -1 || l.ch == '\n' {
+			l.errs.Addf(l.pos(), "unterminated string literal")
+			break
+		}
+		if l.ch == '\'' {
+			if l.peek() == '\'' {
+				sb.WriteByte('\'')
+				l.advance()
+				l.advance()
+				continue
+			}
+			l.advance()
+			break
+		}
+		sb.WriteRune(l.ch)
+		l.advance()
+	}
+	s := sb.String()
+	if utf8.RuneCountInString(s) == 1 {
+		return token.CHAR, s
+	}
+	return token.STRING, s
+}
+
+func (l *Lexer) scanComment() (string, bool) {
+	start := l.offset
+	l.advance() // (
+	l.advance() // *
+	depth := 1
+	for depth > 0 {
+		switch {
+		case l.ch == -1:
+			return l.src[start:l.offset], false
+		case l.ch == '(' && l.peek() == '*':
+			depth++
+			l.advance()
+			l.advance()
+		case l.ch == '*' && l.peek() == ')':
+			depth--
+			l.advance()
+			l.advance()
+		default:
+			l.advance()
+		}
+	}
+	return l.src[start:l.offset], true
+}
+
+func (l *Lexer) scanOperator(start source.Pos) Token {
+	ch := l.ch
+	l.advance()
+	mk := func(k token.Kind) Token {
+		return Token{Kind: k, Pos: start, End: l.pos()}
+	}
+	switch ch {
+	case '+':
+		return mk(token.PLUS)
+	case '-':
+		return mk(token.MINUS)
+	case '*':
+		return mk(token.STAR)
+	case '/':
+		return mk(token.SLASH)
+	case '=':
+		return mk(token.EQ)
+	case '<':
+		switch l.ch {
+		case '=':
+			l.advance()
+			return mk(token.LE)
+		case '>':
+			l.advance()
+			return mk(token.NEQ)
+		}
+		return mk(token.LT)
+	case '>':
+		if l.ch == '=' {
+			l.advance()
+			return mk(token.GE)
+		}
+		return mk(token.GT)
+	case '(':
+		return mk(token.LPAREN)
+	case ')':
+		return mk(token.RPAREN)
+	case '[':
+		return mk(token.LBRACK)
+	case ']':
+		return mk(token.RBRACK)
+	case ',':
+		return mk(token.COMMA)
+	case ':':
+		return mk(token.COLON)
+	case ';':
+		return mk(token.SEMI)
+	case '.':
+		if l.ch == '.' {
+			l.advance()
+			return mk(token.DOTDOT)
+		}
+		return mk(token.DOT)
+	}
+	l.errs.Addf(start, "illegal character %q", ch)
+	t := mk(token.ILLEGAL)
+	t.Lit = string(ch)
+	return t
+}

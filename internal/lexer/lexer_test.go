@@ -1,0 +1,223 @@
+package lexer_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lexer"
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+func kinds(toks []lexer.Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func scan(t *testing.T, src string) ([]lexer.Token, *source.ErrorList) {
+	t.Helper()
+	errs := source.NewErrorList("test")
+	lx := lexer.New("test", src, errs)
+	return lx.All(), errs
+}
+
+// TestBasicTokens covers the full operator and delimiter set.
+func TestBasicTokens(t *testing.T) {
+	toks, errs := scan(t, "+ - * / = <> < <= > >= ( ) [ ] , : ; . ..")
+	if errs.Len() != 0 {
+		t.Fatalf("errors: %v", errs.Err())
+	}
+	want := []token.Kind{
+		token.PLUS, token.MINUS, token.STAR, token.SLASH, token.EQ,
+		token.NEQ, token.LT, token.LE, token.GT, token.GE,
+		token.LPAREN, token.RPAREN, token.LBRACK, token.RBRACK,
+		token.COMMA, token.COLON, token.SEMI, token.DOT, token.DOTDOT,
+		token.EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestKeywordsCaseInsensitive verifies Pascal-style keyword folding.
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	for _, src := range []string{"module", "MODULE", "Module", "mOdUlE"} {
+		toks, _ := scan(t, src)
+		if toks[0].Kind != token.MODULE {
+			t.Errorf("%q lexed as %v, want module", src, toks[0].Kind)
+		}
+	}
+	toks, _ := scan(t, "notakeyword")
+	if toks[0].Kind != token.IDENT {
+		t.Errorf("identifier misclassified as %v", toks[0].Kind)
+	}
+}
+
+// TestNumbers covers integer, real, exponent, and subrange adjacency.
+func TestNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []token.Kind
+	}{
+		{"42", []token.Kind{token.INT, token.EOF}},
+		{"3.14", []token.Kind{token.REAL, token.EOF}},
+		{"1e9", []token.Kind{token.REAL, token.EOF}},
+		{"2.5E-3", []token.Kind{token.REAL, token.EOF}},
+		// '..' must not be swallowed by the number scanner.
+		{"0..10", []token.Kind{token.INT, token.DOTDOT, token.INT, token.EOF}},
+		{"1 .. maxK", []token.Kind{token.INT, token.DOTDOT, token.IDENT, token.EOF}},
+		{"1.5.x", []token.Kind{token.REAL, token.DOT, token.IDENT, token.EOF}},
+	}
+	for _, tc := range cases {
+		toks, errs := scan(t, tc.src)
+		if errs.Len() != 0 {
+			t.Errorf("%q: errors %v", tc.src, errs.Err())
+			continue
+		}
+		got := kinds(toks)
+		if len(got) != len(tc.want) {
+			t.Errorf("%q: got %v, want %v", tc.src, got, tc.want)
+			continue
+		}
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Errorf("%q token %d: got %v, want %v", tc.src, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+// TestStringsAndChars covers quoting, escapes, and the char/string split.
+func TestStringsAndChars(t *testing.T) {
+	toks, errs := scan(t, "'hello' 'a' 'it''s'")
+	if errs.Len() != 0 {
+		t.Fatalf("errors: %v", errs.Err())
+	}
+	if toks[0].Kind != token.STRING || toks[0].Lit != "hello" {
+		t.Errorf("got %v %q", toks[0].Kind, toks[0].Lit)
+	}
+	if toks[1].Kind != token.CHAR || toks[1].Lit != "a" {
+		t.Errorf("got %v %q", toks[1].Kind, toks[1].Lit)
+	}
+	if toks[2].Kind != token.STRING || toks[2].Lit != "it's" {
+		t.Errorf("got %v %q", toks[2].Kind, toks[2].Lit)
+	}
+}
+
+// TestComments covers skipping, nesting, and label retention.
+func TestComments(t *testing.T) {
+	toks, errs := scan(t, "a (* comment (* nested *) still *) b")
+	if errs.Len() != 0 {
+		t.Fatalf("errors: %v", errs.Err())
+	}
+	got := kinds(toks)
+	if len(got) != 3 || got[0] != token.IDENT || got[1] != token.IDENT {
+		t.Errorf("comment not skipped: %v", got)
+	}
+
+	errs2 := source.NewErrorList("test")
+	lx := lexer.New("test", "(*eq.1*) x", errs2, lexer.KeepComments())
+	first := lx.Next()
+	if first.Kind != token.COMMENT || first.Lit != "(*eq.1*)" {
+		t.Errorf("KeepComments: got %v %q", first.Kind, first.Lit)
+	}
+}
+
+// TestErrors covers unterminated constructs and illegal characters.
+func TestErrors(t *testing.T) {
+	_, errs := scan(t, "(* never closed")
+	if errs.Len() == 0 {
+		t.Error("unterminated comment not reported")
+	}
+	_, errs = scan(t, "'never closed")
+	if errs.Len() == 0 {
+		t.Error("unterminated string not reported")
+	}
+	toks, errs := scan(t, "a # b")
+	if errs.Len() == 0 {
+		t.Error("illegal character not reported")
+	}
+	if toks[1].Kind != token.ILLEGAL {
+		t.Errorf("got %v, want ILLEGAL", toks[1].Kind)
+	}
+}
+
+// TestPositions verifies line/column tracking across newlines.
+func TestPositions(t *testing.T) {
+	toks, _ := scan(t, "a\n  b\nccc")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Column != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Column != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+	if toks[2].Pos.Line != 3 || toks[2].Pos.Column != 1 {
+		t.Errorf("ccc at %v", toks[2].Pos)
+	}
+	if toks[2].End.Column != 4 {
+		t.Errorf("ccc ends at col %d, want 4", toks[2].End.Column)
+	}
+}
+
+// TestLexerTerminates is a property test: the lexer always reaches EOF in
+// a bounded number of tokens on arbitrary input (no infinite loops, no
+// panics).
+func TestLexerTerminates(t *testing.T) {
+	f := func(src string) bool {
+		errs := source.NewErrorList("fuzz")
+		lx := lexer.New("fuzz", src, errs)
+		for i := 0; i <= len(src)+2; i++ {
+			if lx.Next().Kind == token.EOF {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLexerCoversInput is a property test on well-formed identifier
+// soup: every identifier written is returned in order.
+func TestLexerCoversInput(t *testing.T) {
+	f := func(words []string) bool {
+		var clean []string
+		for _, w := range words {
+			id := ""
+			for _, r := range w {
+				if r >= 'a' && r <= 'z' {
+					id += string(r)
+				}
+			}
+			if id != "" && token.Lookup(id) == token.IDENT {
+				clean = append(clean, id)
+			}
+		}
+		src := strings.Join(clean, " ")
+		errs := source.NewErrorList("fuzz")
+		toks := lexer.New("fuzz", src, errs).All()
+		if len(toks) != len(clean)+1 {
+			return false
+		}
+		for i, w := range clean {
+			if toks[i].Kind != token.IDENT || toks[i].Lit != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,149 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent worker pool for repeated parallel loops. Unlike
+// Runner.For, which spawns goroutines per call, a Pool keeps its workers
+// parked between loops — essential for wavefront execution, where one
+// outer iterative loop dispatches hundreds of small DOALL planes
+// (paper §4's transformed schedules).
+type Pool struct {
+	workers int
+	grain   int64
+	wake    chan *loopJob
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// loopJob is one parallel loop in flight.
+type loopJob struct {
+	lo, hi int64
+	chunk  int64
+	next   atomic.Int64
+	body   func(start, end int64)
+	done   sync.WaitGroup
+}
+
+// NewPool starts a pool with the given worker count (<= 0 uses all CPUs).
+// The calling goroutine also executes loop chunks, so workers-1
+// goroutines are spawned.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	// The wake channel is buffered to the worker count so dispatch never
+	// blocks; a worker receiving a job that has already been fully
+	// consumed simply finds no chunk and signals done.
+	p := &Pool{workers: workers, grain: 1, wake: make(chan *loopJob, workers)}
+	for i := 0; i < workers-1; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			// Loops arrive in bursts (e.g. one DOALL per hyperplane of an
+			// iterative outer loop), and parking between bursts costs an
+			// OS-level wakeup. Spin briefly for the next job before
+			// blocking.
+			for {
+				job, ok := p.take()
+				if !ok {
+					return
+				}
+				job.run()
+				job.done.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// take returns the next job, spinning briefly before parking on the
+// channel. ok=false means the pool is closed.
+func (p *Pool) take() (*loopJob, bool) {
+	const spins = 256
+	for s := 0; s < spins; s++ {
+		select {
+		case job, ok := <-p.wake:
+			return job, ok
+		default:
+			runtime.Gosched()
+		}
+	}
+	job, ok := <-p.wake
+	return job, ok
+}
+
+// SetGrain sets the minimum iterations per chunk.
+func (p *Pool) SetGrain(g int64) {
+	if g > 0 {
+		p.grain = g
+	}
+}
+
+// Workers returns the configured worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close parks the pool permanently. Pending loops must have completed.
+func (p *Pool) Close() {
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.wake)
+		p.wg.Wait()
+	}
+}
+
+func (j *loopJob) run() {
+	for {
+		start := j.next.Add(j.chunk) - j.chunk
+		if start > j.hi {
+			return
+		}
+		end := start + j.chunk - 1
+		if end > j.hi {
+			end = j.hi
+		}
+		j.body(start, end)
+	}
+}
+
+// ForRanges executes body over [lo, hi] in chunks distributed across the
+// pool's workers and the calling goroutine.
+func (p *Pool) ForRanges(lo, hi int64, body func(start, end int64)) {
+	n := hi - lo + 1
+	if n <= 0 {
+		return
+	}
+	if p.workers == 1 || n == 1 {
+		body(lo, hi)
+		return
+	}
+	chunk := n / int64(p.workers*4)
+	if chunk < p.grain {
+		chunk = p.grain
+	}
+	job := &loopJob{lo: lo, hi: hi, chunk: chunk, body: body}
+	job.next.Store(lo)
+	// Wake only as many workers as can possibly get a chunk; the caller
+	// takes one share itself.
+	helpers := p.workers - 1
+	if int64(helpers) > (n+chunk-1)/chunk-1 {
+		helpers = int((n+chunk-1)/chunk - 1)
+	}
+	job.done.Add(helpers)
+	for s := 0; s < helpers; s++ {
+		p.wake <- job
+	}
+	job.run()
+	job.done.Wait()
+}
+
+// For executes body(i) for every i in [lo, hi] on the pool.
+func (p *Pool) For(lo, hi int64, body func(i int64)) {
+	p.ForRanges(lo, hi, func(start, end int64) {
+		for i := start; i <= end; i++ {
+			body(i)
+		}
+	})
+}

@@ -1,0 +1,548 @@
+// Package parser implements a recursive-descent parser for PS source text.
+//
+// The grammar follows the paper's Figure 1 and §2 prose:
+//
+//	Program    = { Module } .
+//	Module     = ident ":" "module" "(" [ Params ] ")" ":"
+//	             "[" Params "]" ";" Sections "end" ident ";" .
+//	Params     = Param { ";" Param } ;  Param = IdentList ":" Type .
+//	Sections   = [ "type" { IdentList "=" Type ";" } ]
+//	             [ "var" { IdentList ":" Type ";" } ]
+//	             "define" { Equation } .
+//	Equation   = Target { "," Target } "=" Expr ";" .
+//	Target     = ident [ "[" Expr { "," Expr } "]" ] .
+//	Type       = "array" "[" Dim {","Dim} "]" "of" Type | "record" ... "end"
+//	           | "(" IdentList ")" | Expr [ ".." Expr ] .
+//
+// Expressions use Pascal precedence (relational < additive|or <
+// multiplicative|and) with an `if ... then ... elsif ... else ...`
+// conditional expression form.
+package parser
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/lexer"
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+// Parser holds parsing state for one source file.
+type Parser struct {
+	toks []lexer.Token
+	pos  int
+	errs *source.ErrorList
+	file *source.File
+
+	// pendingLabel is a label comment such as (*eq.1*) awaiting the next
+	// equation in a define section.
+	pendingLabel string
+}
+
+// ParseProgram parses a whole PS compilation unit.
+func ParseProgram(name, src string) (*ast.Program, error) {
+	p := newParser(name, src)
+	prog := &ast.Program{}
+	for !p.at(token.EOF) {
+		m := p.parseModule()
+		if m != nil {
+			prog.Modules = append(prog.Modules, m)
+		}
+		if p.errs.Len() > 20 {
+			break
+		}
+	}
+	if len(prog.Modules) == 0 && p.errs.Len() == 0 {
+		p.errs.Addf(p.peek().Pos, "source contains no modules")
+	}
+	return prog, p.errs.Err()
+}
+
+// ParseModule parses a single module (convenience for sources holding one).
+func ParseModule(name, src string) (*ast.Module, error) {
+	prog, err := ParseProgram(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return prog.Modules[0], nil
+}
+
+// ParseExpr parses a standalone expression (used by tests and tools).
+func ParseExpr(src string) (ast.Expr, error) {
+	p := newParser("<expr>", src)
+	e := p.parseExpr()
+	if !p.at(token.EOF) {
+		p.errs.Addf(p.peek().Pos, "unexpected %s after expression", p.peek())
+	}
+	if err := p.errs.Err(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func newParser(name, src string) *Parser {
+	errs := source.NewErrorList(name)
+	lx := lexer.New(name, src, errs, lexer.KeepComments())
+	p := &Parser{errs: errs, file: lx.File()}
+	for {
+		t := lx.Next()
+		p.toks = append(p.toks, t)
+		if t.Kind == token.EOF {
+			break
+		}
+	}
+	p.skipComments()
+	return p
+}
+
+// --- token stream helpers -------------------------------------------------
+
+func (p *Parser) peek() lexer.Token { return p.toks[p.pos] }
+
+func (p *Parser) peekN(n int) lexer.Token {
+	i := p.pos
+	for n > 0 && i < len(p.toks)-1 {
+		i++
+		for p.toks[i].Kind == token.COMMENT && i < len(p.toks)-1 {
+			i++
+		}
+		n--
+	}
+	return p.toks[i]
+}
+
+func (p *Parser) at(k token.Kind) bool { return p.peek().Kind == k }
+
+func (p *Parser) next() lexer.Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	p.skipComments()
+	return t
+}
+
+// skipComments advances over comment tokens, remembering label comments
+// like (*eq.1*) so the next equation can adopt the label.
+func (p *Parser) skipComments() {
+	for p.toks[p.pos].Kind == token.COMMENT {
+		text := strings.TrimSuffix(strings.TrimPrefix(p.toks[p.pos].Lit, "(*"), "*)")
+		text = strings.TrimSpace(text)
+		if text != "" && !strings.ContainsAny(text, " \t\n") && !strings.HasPrefix(text, "$") && len(text) <= 24 {
+			p.pendingLabel = text
+		}
+		if p.pos < len(p.toks)-1 {
+			p.pos++
+		} else {
+			break
+		}
+	}
+}
+
+func (p *Parser) expect(k token.Kind) lexer.Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errorf("expected %q, found %s", k.String(), p.peek())
+	return lexer.Token{Kind: k, Pos: p.peek().Pos, End: p.peek().Pos}
+}
+
+func (p *Parser) errorf(format string, args ...any) {
+	p.errs.Addf(p.peek().Pos, format, args...)
+}
+
+// sync skips tokens until after the next semicolon (or a section keyword),
+// for error recovery.
+func (p *Parser) sync() {
+	for {
+		switch p.peek().Kind {
+		case token.EOF, token.TYPE, token.VAR, token.DEFINE, token.END:
+			return
+		case token.SEMI:
+			p.next()
+			return
+		}
+		p.next()
+	}
+}
+
+// --- declarations -----------------------------------------------------------
+
+func (p *Parser) parseModule() *ast.Module {
+	name := p.parseIdent()
+	p.expect(token.COLON)
+	p.expect(token.MODULE)
+	m := &ast.Module{Name: name}
+
+	p.expect(token.LPAREN)
+	if !p.at(token.RPAREN) {
+		m.Params = p.parseParamList(token.RPAREN)
+	}
+	p.expect(token.RPAREN)
+	p.expect(token.COLON)
+	p.expect(token.LBRACK)
+	if !p.at(token.RBRACK) {
+		m.Results = p.parseParamList(token.RBRACK)
+	}
+	p.expect(token.RBRACK)
+	p.expect(token.SEMI)
+
+	if p.at(token.TYPE) {
+		p.next()
+		for p.at(token.IDENT) {
+			m.Types = append(m.Types, p.parseTypeDecl())
+		}
+	}
+	if p.at(token.VAR) {
+		p.next()
+		for p.at(token.IDENT) {
+			m.Vars = append(m.Vars, p.parseVarDecl())
+		}
+	}
+	p.expect(token.DEFINE)
+	for p.at(token.IDENT) {
+		eq := p.parseEquation()
+		if eq != nil {
+			m.Eqs = append(m.Eqs, eq)
+		}
+	}
+	endTok := p.expect(token.END)
+	m.EndPos = endTok.End
+	if p.at(token.IDENT) {
+		closing := p.parseIdent()
+		if !strings.EqualFold(closing.Name, name.Name) {
+			p.errs.Addf(closing.Pos(), "module %s closed with 'end %s'", name.Name, closing.Name)
+		}
+		m.EndPos = closing.End()
+	}
+	if p.at(token.SEMI) {
+		p.next()
+	}
+	return m
+}
+
+func (p *Parser) parseParamList(stop token.Kind) []*ast.Param {
+	var params []*ast.Param
+	for {
+		names := p.parseIdentList()
+		p.expect(token.COLON)
+		typ := p.parseType()
+		params = append(params, &ast.Param{Names: names, Type: typ})
+		if !p.at(token.SEMI) {
+			return params
+		}
+		p.next()
+		if p.at(stop) { // tolerate trailing separator
+			return params
+		}
+	}
+}
+
+func (p *Parser) parseTypeDecl() *ast.TypeDecl {
+	names := p.parseIdentList()
+	p.expect(token.EQ)
+	typ := p.parseType()
+	p.expect(token.SEMI)
+	return &ast.TypeDecl{Names: names, Type: typ}
+}
+
+func (p *Parser) parseVarDecl() *ast.VarDecl {
+	names := p.parseIdentList()
+	p.expect(token.COLON)
+	typ := p.parseType()
+	p.expect(token.SEMI)
+	return &ast.VarDecl{Names: names, Type: typ}
+}
+
+func (p *Parser) parseIdentList() []*ast.Ident {
+	list := []*ast.Ident{p.parseIdent()}
+	for p.at(token.COMMA) {
+		p.next()
+		list = append(list, p.parseIdent())
+	}
+	return list
+}
+
+func (p *Parser) parseIdent() *ast.Ident {
+	t := p.expect(token.IDENT)
+	return &ast.Ident{Name: t.Lit, NamePos: t.Pos, NameEnd: t.End}
+}
+
+// --- types -------------------------------------------------------------------
+
+func (p *Parser) parseType() ast.TypeExpr {
+	switch p.peek().Kind {
+	case token.ARRAY:
+		return p.parseArrayType()
+	case token.RECORD:
+		return p.parseRecordType()
+	case token.LPAREN:
+		if p.isEnumAhead() {
+			return p.parseEnumType()
+		}
+	}
+	// Subrange (lo .. hi) or a plain type name.
+	lo := p.parseSimpleExpr()
+	if p.at(token.DOTDOT) {
+		p.next()
+		hi := p.parseSimpleExpr()
+		return &ast.SubrangeType{Lo: lo, Hi: hi}
+	}
+	if id, ok := lo.(*ast.Ident); ok {
+		return &ast.TypeName{Name: id}
+	}
+	p.errorf("expected type, found expression %q", ast.ExprString(lo))
+	return &ast.TypeName{Name: &ast.Ident{Name: "<error>", NamePos: lo.Pos(), NameEnd: lo.End()}}
+}
+
+// isEnumAhead reports whether the upcoming '(' begins an enumeration type
+// rather than a parenthesized subrange bound: "( ident {, ident} )" not
+// followed by "..", an operator, or "." .
+func (p *Parser) isEnumAhead() bool {
+	i := 1
+	if p.peekN(i).Kind != token.IDENT {
+		return false
+	}
+	i++
+	for p.peekN(i).Kind == token.COMMA {
+		i++
+		if p.peekN(i).Kind != token.IDENT {
+			return false
+		}
+		i++
+	}
+	if p.peekN(i).Kind != token.RPAREN {
+		return false
+	}
+	after := p.peekN(i + 1).Kind
+	switch after {
+	case token.DOTDOT, token.PLUS, token.MINUS, token.STAR, token.SLASH, token.DIV, token.MOD:
+		return false
+	}
+	return true
+}
+
+func (p *Parser) parseArrayType() *ast.ArrayType {
+	arr := p.expect(token.ARRAY)
+	p.expect(token.LBRACK)
+	var dims []ast.TypeExpr
+	dims = append(dims, p.parseType())
+	for p.at(token.COMMA) {
+		p.next()
+		dims = append(dims, p.parseType())
+	}
+	p.expect(token.RBRACK)
+	p.expect(token.OF)
+	elem := p.parseType()
+	return &ast.ArrayType{ArrayPos: arr.Pos, Dims: dims, Elem: elem}
+}
+
+func (p *Parser) parseRecordType() *ast.RecordType {
+	rec := p.expect(token.RECORD)
+	var fields []*ast.FieldDecl
+	for p.at(token.IDENT) {
+		names := p.parseIdentList()
+		p.expect(token.COLON)
+		typ := p.parseType()
+		fields = append(fields, &ast.FieldDecl{Names: names, Type: typ})
+		if p.at(token.SEMI) {
+			p.next()
+		} else {
+			break
+		}
+	}
+	end := p.expect(token.END)
+	return &ast.RecordType{RecordPos: rec.Pos, Fields: fields, EndPos: end.End}
+}
+
+func (p *Parser) parseEnumType() *ast.EnumType {
+	lp := p.expect(token.LPAREN)
+	names := p.parseIdentList()
+	rp := p.expect(token.RPAREN)
+	return &ast.EnumType{Lparen: lp.Pos, Names: names, Rparen: rp.End}
+}
+
+// --- equations ----------------------------------------------------------------
+
+func (p *Parser) parseEquation() *ast.Equation {
+	label := p.pendingLabel
+	p.pendingLabel = ""
+	targets := []*ast.Target{p.parseTarget()}
+	for p.at(token.COMMA) {
+		p.next()
+		targets = append(targets, p.parseTarget())
+	}
+	if !p.at(token.EQ) {
+		p.errorf("expected '=' in equation, found %s", p.peek())
+		p.sync()
+		return nil
+	}
+	p.next()
+	rhs := p.parseExpr()
+	p.expect(token.SEMI)
+	return &ast.Equation{Targets: targets, RHS: rhs, Label: label}
+}
+
+func (p *Parser) parseTarget() *ast.Target {
+	name := p.parseIdent()
+	t := &ast.Target{Name: name}
+	if p.at(token.LBRACK) {
+		p.next()
+		t.Subs = append(t.Subs, p.parseExpr())
+		for p.at(token.COMMA) {
+			p.next()
+			t.Subs = append(t.Subs, p.parseExpr())
+		}
+		rb := p.expect(token.RBRACK)
+		t.RbrackEnd = rb.End
+	}
+	return t
+}
+
+// --- expressions ----------------------------------------------------------------
+
+// parseExpr parses a full expression including conditional expressions.
+func (p *Parser) parseExpr() ast.Expr {
+	if p.at(token.IF) {
+		return p.parseIfExpr()
+	}
+	return p.parseBinary(1)
+}
+
+// parseSimpleExpr parses an expression that cannot be a conditional; used
+// for subrange bounds where `..` follows.
+func (p *Parser) parseSimpleExpr() ast.Expr {
+	return p.parseBinary(1)
+}
+
+func (p *Parser) parseIfExpr() ast.Expr {
+	ifTok := p.expect(token.IF)
+	cond := p.parseBinary(1)
+	p.expect(token.THEN)
+	then := p.parseExpr()
+	x := &ast.IfExpr{IfPos: ifTok.Pos, Cond: cond, Then: then}
+	for p.at(token.ELSIF) {
+		p.next()
+		c := p.parseBinary(1)
+		p.expect(token.THEN)
+		t := p.parseExpr()
+		x.Elifs = append(x.Elifs, ast.ElseIf{Cond: c, Then: t})
+	}
+	p.expect(token.ELSE)
+	x.Else = p.parseExpr()
+	return x
+}
+
+func (p *Parser) parseBinary(minPrec int) ast.Expr {
+	x := p.parseUnary()
+	for {
+		op := p.peek().Kind
+		prec := op.Precedence()
+		if prec < minPrec {
+			return x
+		}
+		p.next()
+		y := p.parseBinary(prec + 1)
+		x = &ast.Binary{Op: op, X: x, Y: y}
+	}
+}
+
+func (p *Parser) parseUnary() ast.Expr {
+	switch p.peek().Kind {
+	case token.MINUS, token.PLUS, token.NOT:
+		t := p.next()
+		x := p.parseUnary()
+		return &ast.Unary{Op: t.Kind, OpPos: t.Pos, X: x}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() ast.Expr {
+	x := p.parsePrimary()
+	for {
+		switch p.peek().Kind {
+		case token.LBRACK:
+			lb := p.next()
+			var subs []ast.Expr
+			subs = append(subs, p.parseExpr())
+			for p.at(token.COMMA) {
+				p.next()
+				subs = append(subs, p.parseExpr())
+			}
+			rb := p.expect(token.RBRACK)
+			// Flatten A[i][j] into a single Index with two subscripts so
+			// subscript positions match array dimensions.
+			if prev, ok := x.(*ast.Index); ok {
+				prev.Subs = append(prev.Subs, subs...)
+				prev.Rbrack = rb.End
+				x = prev
+			} else {
+				x = &ast.Index{Base: x, Lbrack: lb.Pos, Subs: subs, Rbrack: rb.End}
+			}
+		case token.DOT:
+			p.next()
+			sel := p.parseIdent()
+			x = &ast.Field{Base: x, Sel: sel}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() ast.Expr {
+	t := p.peek()
+	switch t.Kind {
+	case token.IDENT:
+		id := p.parseIdent()
+		if p.at(token.LPAREN) {
+			lp := p.next()
+			call := &ast.Call{Fun: id, Lparen: lp.Pos}
+			if !p.at(token.RPAREN) {
+				call.Args = append(call.Args, p.parseExpr())
+				for p.at(token.COMMA) {
+					p.next()
+					call.Args = append(call.Args, p.parseExpr())
+				}
+			}
+			rp := p.expect(token.RPAREN)
+			call.Rparen = rp.End
+			return call
+		}
+		return id
+	case token.INT:
+		p.next()
+		v, err := strconv.ParseInt(t.Lit, 10, 64)
+		if err != nil {
+			p.errs.Addf(t.Pos, "invalid integer literal %q: %v", t.Lit, err)
+		}
+		return &ast.IntLit{Value: v, Lit: t.Lit, LitPos: t.Pos, LitEnd: t.End}
+	case token.REAL:
+		p.next()
+		v, err := strconv.ParseFloat(t.Lit, 64)
+		if err != nil {
+			p.errs.Addf(t.Pos, "invalid real literal %q: %v", t.Lit, err)
+		}
+		return &ast.RealLit{Value: v, Lit: t.Lit, LitPos: t.Pos, LitEnd: t.End}
+	case token.TRUE, token.FALSE:
+		p.next()
+		return &ast.BoolLit{Value: t.Kind == token.TRUE, LitPos: t.Pos, LitEnd: t.End}
+	case token.STRING:
+		p.next()
+		return &ast.StringLit{Value: t.Lit, LitPos: t.Pos, LitEnd: t.End}
+	case token.CHAR:
+		p.next()
+		return &ast.CharLit{Value: []rune(t.Lit)[0], LitPos: t.Pos, LitEnd: t.End}
+	case token.LPAREN:
+		lp := p.next()
+		x := p.parseExpr()
+		rp := p.expect(token.RPAREN)
+		return &ast.Paren{LP: lp.Pos, X: x, RP: rp.End}
+	case token.IF:
+		return p.parseIfExpr()
+	}
+	p.errorf("expected expression, found %s", t)
+	p.next()
+	return &ast.IntLit{Value: 0, Lit: "0", LitPos: t.Pos, LitEnd: t.End}
+}

@@ -1,0 +1,139 @@
+// Package psrc holds the canonical PS source texts used across the test
+// suite, the benchmarks and the figure-reproduction tool: the paper's
+// Figure 1 relaxation module, its §4 Gauss–Seidel-style revision, and a
+// set of auxiliary workloads exercising the same language surface.
+package psrc
+
+// Relaxation is the paper's Figure 1: Jacobi-style relaxation in which
+// every element value is taken from the previous iteration (Equation 1).
+// Its schedule is Figure 6: DOALL I/J around eq.1 and eq.2, and
+// DO K (DOALL I (DOALL J (eq.3))) for the recurrence.
+const Relaxation = `(*$m+v+x+t-*)
+Relaxation: module (InitialA: array[I,J] of real;
+                    M: int; maxK: int):
+    [newA: array [I,J] of real];
+type
+    I,J = 0 .. M+1;  K = 2 .. maxK;
+var
+    A: array [1 .. maxK] of array[I,J] of real;
+    (* A denotes the succession of grids *)
+define
+    (*eq.1*) A[1] = InitialA;  (* the first grid is input *)
+    (*eq.2*) newA = A[maxK];   (* the grid returned is from the last iteration *)
+    (*eq.3*) A[K,I,J] = if (I = 0)
+                   or (J = 0)
+                   or (I = M+1)
+                   or (J = M+1)
+                 then A[K-1,I,J]  (* carry over boundary points *)
+                 else ( A[K-1,I,J-1]
+                       +A[K-1,I-1,J]
+                       +A[K-1,I,J+1]
+                       +A[K-1,I+1,J] ) / 4;
+end Relaxation;
+`
+
+// RelaxationGS is the §4 revision (the paper's Equation 2): the standard
+// Gauss–Seidel-style relaxation whose left and upper neighbours come from
+// the current iteration. Deleting the K-1 edges leaves two recursive
+// edges, so every loop is iterative (Figure 7) until the hyperplane
+// transformation is applied.
+const RelaxationGS = `(*$m+v+x+t-*)
+Relaxation: module (InitialA: array[I,J] of real;
+                    M: int; maxK: int):
+    [newA: array [I,J] of real];
+type
+    I,J = 0 .. M+1;  K = 2 .. maxK;
+var
+    A: array [1 .. maxK] of array[I,J] of real;
+define
+    (*eq.1*) A[1] = InitialA;
+    (*eq.2*) newA = A[maxK];
+    (*eq.3*) A[K,I,J] = if (I = 0)
+                   or (J = 0)
+                   or (I = M+1)
+                   or (J = M+1)
+                 then A[K-1,I,J]  (* carry over boundary points *)
+                 else ( A[K,I,J-1]
+                       +A[K,I-1,J]
+                       +A[K-1,I,J+1]
+                       +A[K-1,I+1,J] ) / 4;
+end Relaxation;
+`
+
+// Heat1D is a one-dimensional explicit heat equation: the same
+// DO-over-time / DOALL-over-space shape as the relaxation module on a
+// smaller stencil, used by examples and property tests.
+const Heat1D = `
+Heat1D: module (U0: array[X] of real; N: int; steps: int; alpha: real):
+    [U: array [X] of real];
+type
+    X = 0 .. N+1;  T = 2 .. steps;
+var
+    G: array [1 .. steps] of array[X] of real;
+define
+    G[1] = U0;
+    U = G[steps];
+    G[T,X] = if (X = 0) or (X = N+1)
+             then G[T-1,X]
+             else G[T-1,X] + alpha * (G[T-1,X-1] - 2.0*G[T-1,X] + G[T-1,X+1]);
+end Heat1D;
+`
+
+// Prefix is a first-order linear recurrence (running sum): fully
+// sequential in its single dimension, the minimal iterative schedule.
+const Prefix = `
+Prefix: module (Xs: array[I] of real; N: int): [S: array [I] of real];
+type
+    I = 1 .. N;  I2 = 2 .. N;
+var
+    P: array [1 .. N] of real;
+define
+    P[1] = Xs[1];
+    P[I2] = P[I2-1] + Xs[I2];
+    S[I] = P[I];
+end Prefix;
+`
+
+// Smooth is a pure DOALL workload: a one-pass 3-point smoothing with no
+// recurrence at all, so every loop is parallel.
+const Smooth = `
+Smooth: module (Xs: array[I] of real; N: int): [Ys: array [I] of real];
+type
+    I = 0 .. N+1;
+define
+    Ys[I] = if (I = 0) or (I = N+1)
+            then Xs[I]
+            else (Xs[I-1] + Xs[I] + Xs[I+1]) / 3.0;
+end Smooth;
+`
+
+// Pipeline is a two-module program: Smooth invoked from a driver module,
+// exercising cross-module calls.
+const Pipeline = Smooth + `
+Pipeline: module (Xs: array[I] of real; N: int): [Zs: array [I] of real];
+type
+    I = 0 .. N+1;
+var
+    Mid: array [0 .. N+1] of real;
+define
+    Mid = Smooth(Xs, N);
+    Zs = Smooth(Mid, N);
+end Pipeline;
+`
+
+// Wavefront2D is a 2-D recurrence with dependences inside the plane only
+// (no time dimension): both loops iterative under §3.3, a classic
+// hyperplane candidate.
+const Wavefront2D = `
+Wavefront2D: module (Seed: array[I,J] of real; N: int): [Out: array [I,J] of real];
+type
+    I,J = 0 .. N+1;
+var
+    W: array [0 .. N+1, 0 .. N+1] of real;
+define
+    W[I,J] = if (I = 0) or (J = 0)
+             then Seed[I,J]
+             else (W[I-1,J] + W[I,J-1]) / 2.0;
+    Out[I,J] = W[I,J];
+end Wavefront2D;
+`

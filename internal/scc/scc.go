@@ -1,0 +1,135 @@
+// Package scc computes maximally strongly connected components (MSCCs) of
+// a directed graph and orders them topologically, as required by the
+// paper's Schedule-Graph procedure (§3.3 step 1).
+package scc
+
+// Graph is the adjacency-list view consumed by Components: Succ(i) lists
+// the successors of node i, for i in [0, n).
+type Graph interface {
+	Len() int
+	Succ(i int) []int
+}
+
+// AdjGraph is a simple slice-backed Graph.
+type AdjGraph [][]int
+
+// Len returns the number of nodes.
+func (g AdjGraph) Len() int { return len(g) }
+
+// Succ returns the successors of node i.
+func (g AdjGraph) Succ(i int) []int { return g[i] }
+
+// Components returns the MSCCs of g using Tarjan's algorithm, ordered so
+// that every edge runs from an earlier component to a later one
+// (producers before consumers). Within a component, nodes keep ascending
+// index order of discovery.
+func Components(g Graph) [][]int {
+	n := g.Len()
+	const unvisited = -1
+	index := make([]int, n)
+	lowlink := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack  []int
+		comps  [][]int
+		nextID int
+	)
+
+	// Iterative Tarjan to survive deep graphs without growing the Go
+	// stack for every node.
+	type frame struct {
+		v    int
+		succ []int
+		si   int
+	}
+	var frames []frame
+
+	push := func(v int) {
+		index[v] = nextID
+		lowlink[v] = nextID
+		nextID++
+		stack = append(stack, v)
+		onStack[v] = true
+		frames = append(frames, frame{v: v, succ: g.Succ(v)})
+	}
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		push(root)
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			advanced := false
+			for f.si < len(f.succ) {
+				w := f.succ[f.si]
+				f.si++
+				if index[w] == unvisited {
+					push(w)
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < lowlink[f.v] {
+					lowlink[f.v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// f.v is finished.
+			if lowlink[f.v] == index[f.v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == f.v {
+						break
+					}
+				}
+				// Tarjan pops components in reverse topological order;
+				// collect now, reverse at the end.
+				sortInts(comp)
+				comps = append(comps, comp)
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if lowlink[v] < lowlink[parent.v] {
+					lowlink[parent.v] = lowlink[v]
+				}
+			}
+		}
+	}
+
+	// Reverse to obtain topological (producer-first) order.
+	for i, j := 0, len(comps)-1; i < j; i, j = i+1, j-1 {
+		comps[i], comps[j] = comps[j], comps[i]
+	}
+	return comps
+}
+
+// Condense returns, for each node, the index of its component in comps.
+func Condense(n int, comps [][]int) []int {
+	id := make([]int, n)
+	for ci, comp := range comps {
+		for _, v := range comp {
+			id[v] = ci
+		}
+	}
+	return id
+}
+
+func sortInts(a []int) {
+	// Insertion sort: components are typically tiny.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package scc_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/scc"
+)
+
+// TestKnownGraphs covers hand-checked component structures.
+func TestKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    scc.AdjGraph
+		want [][]int // topological component order
+	}{
+		{
+			name: "chain",
+			g:    scc.AdjGraph{{1}, {2}, {}},
+			want: [][]int{{0}, {1}, {2}},
+		},
+		{
+			name: "cycle",
+			g:    scc.AdjGraph{{1}, {2}, {0}},
+			want: [][]int{{0, 1, 2}},
+		},
+		{
+			name: "two cycles bridged",
+			g:    scc.AdjGraph{{1}, {0, 2}, {3}, {2}},
+			want: [][]int{{0, 1}, {2, 3}},
+		},
+		{
+			name: "self loop",
+			g:    scc.AdjGraph{{0, 1}, {}},
+			want: [][]int{{0}, {1}},
+		},
+		{
+			name: "empty",
+			g:    scc.AdjGraph{},
+			want: nil,
+		},
+		{
+			name: "isolated",
+			g:    scc.AdjGraph{{}, {}, {}},
+			want: [][]int{{0}, {1}, {2}},
+		},
+		{
+			// The relaxation condensation shape: sources feeding a cycle
+			// feeding sinks.
+			name: "diamond with cycle",
+			g:    scc.AdjGraph{{2}, {2}, {3}, {2, 4}, {}},
+			want: [][]int{{0}, {1}, {2, 3}, {4}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := scc.Components(tc.g)
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+			// Components must match set-wise and respect edge order.
+			seen := make(map[int]int)
+			for ci, comp := range got {
+				for _, v := range comp {
+					seen[v] = ci
+				}
+			}
+			for ci, comp := range tc.want {
+				_ = ci
+				first := seen[comp[0]]
+				for _, v := range comp {
+					if seen[v] != first {
+						t.Errorf("nodes %v not in one component: %v", comp, got)
+					}
+				}
+			}
+			// Topological property: every edge goes to the same or a
+			// later component.
+			for u := range tc.g {
+				for _, v := range tc.g[u] {
+					if seen[u] > seen[v] {
+						t.Errorf("edge %d->%d goes backwards across components %d->%d",
+							u, v, seen[u], seen[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestComponentsProperty is a property test on random digraphs: the
+// components partition the nodes; every edge respects topological order;
+// and within-component reachability is mutual.
+func TestComponentsProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, density uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%24) + 1
+		p := float64(density%70)/100.0 + 0.02
+		g := make(scc.AdjGraph, n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if r.Float64() < p {
+					g[u] = append(g[u], v)
+				}
+			}
+		}
+		comps := scc.Components(g)
+		id := scc.Condense(n, comps)
+
+		// Partition: every node appears exactly once.
+		count := make([]int, n)
+		for _, comp := range comps {
+			for _, v := range comp {
+				count[v]++
+			}
+		}
+		for _, c := range count {
+			if c != 1 {
+				return false
+			}
+		}
+		// Topological order of the condensation.
+		for u := 0; u < n; u++ {
+			for _, v := range g[u] {
+				if id[u] > id[v] {
+					return false
+				}
+			}
+		}
+		// Mutual reachability within components.
+		reach := make([][]bool, n)
+		for u := 0; u < n; u++ {
+			reach[u] = make([]bool, n)
+			stack := []int{u}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, v := range g[x] {
+					if !reach[u][v] {
+						reach[u][v] = true
+						stack = append(stack, v)
+					}
+				}
+			}
+		}
+		for _, comp := range comps {
+			for _, a := range comp {
+				for _, b := range comp {
+					if a != b && (!reach[a][b] || !reach[b][a]) {
+						return false
+					}
+				}
+			}
+		}
+		// Maximality: distinct components are not mutually reachable.
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if id[u] != id[v] && reach[u][v] && reach[v][u] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeepChain guards the iterative Tarjan against stack overflows.
+func TestDeepChain(t *testing.T) {
+	const n = 200_000
+	g := make(scc.AdjGraph, n)
+	for i := 0; i < n-1; i++ {
+		g[i] = []int{i + 1}
+	}
+	comps := scc.Components(g)
+	if len(comps) != n {
+		t.Fatalf("got %d components, want %d", len(comps), n)
+	}
+	if comps[0][0] != 0 || comps[n-1][0] != n-1 {
+		t.Error("chain components out of topological order")
+	}
+}

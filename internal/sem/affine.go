@@ -1,0 +1,151 @@
+package sem
+
+import (
+	"repro/internal/ast"
+	"repro/internal/token"
+	"repro/internal/types"
+)
+
+// EvalConstInt evaluates an integer expression built from literals only
+// (constant folding for subscript offsets such as K-(1+1)). It reports
+// false for anything symbolic.
+func EvalConstInt(e ast.Expr) (int64, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.IntLit:
+		return x.Value, true
+	case *ast.Unary:
+		v, ok := EvalConstInt(x.X)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case token.MINUS:
+			return -v, true
+		case token.PLUS:
+			return v, true
+		}
+	case *ast.Binary:
+		a, ok1 := EvalConstInt(x.X)
+		b, ok2 := EvalConstInt(x.Y)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch x.Op {
+		case token.PLUS:
+			return a + b, true
+		case token.MINUS:
+			return a - b, true
+		case token.STAR:
+			return a * b, true
+		case token.DIV:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case token.MOD:
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		}
+	}
+	return 0, false
+}
+
+// Affine is the decomposition of an integer expression into a linear
+// combination of index variables plus a constant:
+//
+//	expr = Σ Coeffs[v]·v + Const        (all coefficients integer literals)
+//
+// Symbolic reports that the expression also contains non-index scalar
+// names (module parameters), in which case Const is meaningless but the
+// variable structure is still valid for classification purposes.
+type Affine struct {
+	Coeffs   map[*types.Subrange]int64
+	Const    int64
+	Symbolic bool
+}
+
+// SingleVar reports whether the form is v + c for exactly one index
+// variable with coefficient 1 and a literal constant, returning them.
+func (a *Affine) SingleVar() (*types.Subrange, int64, bool) {
+	if a == nil || a.Symbolic || len(a.Coeffs) != 1 {
+		return nil, 0, false
+	}
+	for v, coef := range a.Coeffs {
+		if coef == 1 {
+			return v, a.Const, true
+		}
+	}
+	return nil, 0, false
+}
+
+// IsConst reports whether the expression has no index variables at all
+// (it may still be symbolic in module parameters).
+func (a *Affine) IsConst() bool {
+	if a == nil {
+		return false
+	}
+	for _, coef := range a.Coeffs {
+		if coef != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AnalyzeAffine decomposes e as an affine combination of the module's
+// index variables. It returns nil when the expression is not affine
+// (conditionals, multiplication of two variable terms, calls, subscripts).
+func (m *Module) AnalyzeAffine(e ast.Expr) *Affine {
+	a := &Affine{Coeffs: make(map[*types.Subrange]int64)}
+	if !m.affine(e, 1, a) {
+		return nil
+	}
+	return a
+}
+
+func (m *Module) affine(e ast.Expr, scale int64, a *Affine) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.IntLit:
+		a.Const += scale * x.Value
+		return true
+	case *ast.Ident:
+		if iv := m.IndexVar(x.Name); iv != nil {
+			a.Coeffs[iv] += scale
+			return true
+		}
+		sym := m.scope[x.Name]
+		if sym != nil && sym.IsData() && types.IsInteger(sym.Type) {
+			a.Symbolic = true
+			return true
+		}
+		return false
+	case *ast.Unary:
+		switch x.Op {
+		case token.MINUS:
+			return m.affine(x.X, -scale, a)
+		case token.PLUS:
+			return m.affine(x.X, scale, a)
+		}
+		return false
+	case *ast.Binary:
+		switch x.Op {
+		case token.PLUS:
+			return m.affine(x.X, scale, a) && m.affine(x.Y, scale, a)
+		case token.MINUS:
+			return m.affine(x.X, scale, a) && m.affine(x.Y, -scale, a)
+		case token.STAR:
+			// Allow literal·affine and affine·literal.
+			if k, ok := EvalConstInt(x.X); ok {
+				return m.affine(x.Y, scale*k, a)
+			}
+			if k, ok := EvalConstInt(x.Y); ok {
+				return m.affine(x.X, scale*k, a)
+			}
+			return false
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,545 @@
+// Package sem implements semantic analysis for PS programs: symbol
+// resolution, type checking of declarations and equations, and the
+// extraction of the per-equation iteration dimensions (index variables)
+// that the scheduler reasons about.
+//
+// PS identifies loop index variables with subrange *types*: the equation
+// A[K,I,J] = ... iterates the declared subranges K, I and J (paper §2).
+// An equation's dimension list is its explicit left-hand-side index
+// variables, in order of appearance, followed by the implicit dimensions of
+// an array-valued assignment (A[1] = InitialA copies a whole I×J plane and
+// therefore has implicit dimensions I and J — paper Figure 5, component 4).
+package sem
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/source"
+	"repro/internal/types"
+)
+
+// SymKind classifies a symbol.
+type SymKind int
+
+// Symbol kinds.
+const (
+	ParamSym SymKind = iota
+	ResultSym
+	LocalSym
+	TypeSym
+	EnumConstSym
+)
+
+// String names the symbol kind.
+func (k SymKind) String() string {
+	switch k {
+	case ParamSym:
+		return "parameter"
+	case ResultSym:
+		return "result"
+	case LocalSym:
+		return "local"
+	case TypeSym:
+		return "type"
+	case EnumConstSym:
+		return "enum constant"
+	}
+	return "symbol"
+}
+
+// Symbol is a named entity in a module scope.
+type Symbol struct {
+	Name  string
+	Kind  SymKind
+	Type  types.Type // for TypeSym, the denoted type
+	Pos   source.Pos
+	Index int // ordinal among symbols of the same kind
+	// BoundDeps lists the scalar symbols appearing in this symbol's array
+	// dimension bounds (e.g. M for InitialA: array[I,J] with I = 0..M+1);
+	// the dependency graph draws bound edges from them (paper §3.1).
+	BoundDeps []*Symbol
+}
+
+// IsData reports whether the symbol denotes a runtime value.
+func (s *Symbol) IsData() bool {
+	return s.Kind == ParamSym || s.Kind == ResultSym || s.Kind == LocalSym
+}
+
+// Program is a checked PS compilation unit.
+type Program struct {
+	Modules []*Module
+	byName  map[string]*Module
+}
+
+// Module looks up a checked module by name (case-insensitive).
+func (p *Program) Module(name string) *Module {
+	return p.byName[strings.ToLower(name)]
+}
+
+// Module is a checked PS module.
+type Module struct {
+	Name    string
+	AST     *ast.Module
+	Params  []*Symbol
+	Results []*Symbol
+	Locals  []*Symbol
+	// Subranges lists every subrange type in declaration order, including
+	// those synthesized for anonymous array dimensions.
+	Subranges []*Subrange
+	Eqs       []*Equation
+
+	Prog      *Program
+	scope     map[string]*Symbol
+	exprTypes map[ast.Expr]types.Type
+	subByType map[*types.Subrange]*Subrange
+}
+
+// Subrange pairs a subrange type with its defining symbol information.
+type Subrange struct {
+	Type *types.Subrange
+	Pos  source.Pos
+	// BoundDeps are the scalar symbols referenced by the bounds.
+	BoundDeps []*Symbol
+}
+
+// Equation is a checked defining equation.
+type Equation struct {
+	Index   int    // position in the define section
+	Label   string // display label, e.g. "eq.3"
+	AST     *ast.Equation
+	Targets []*Target
+	// Dims is the equation's iteration space: explicit LHS index variables
+	// in order of first appearance, then implicit dimensions.
+	Dims        []*types.Subrange
+	NumExplicit int
+	RHS         ast.Expr
+	// MultiCall is set when the RHS is a single call to a module with
+	// multiple results, matched positionally against Targets.
+	MultiCall *ast.Call
+	// WholeCall is set when the RHS is a module call: the equation
+	// executes once, assigning whole result values, rather than
+	// element-wise over implicit dimensions.
+	WholeCall *ast.Call
+}
+
+// String renders the equation's source form.
+func (e *Equation) String() string { return ast.EquationString(e.AST) }
+
+// HasDim reports whether v is one of the equation's iteration dimensions.
+func (e *Equation) HasDim(v *types.Subrange) bool {
+	for _, d := range e.Dims {
+		if d == v {
+			return true
+		}
+	}
+	return false
+}
+
+// DimPos returns the position of v in the equation's dimension list, or -1.
+func (e *Equation) DimPos(v *types.Subrange) int {
+	for i, d := range e.Dims {
+		if d == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Target is one left-hand-side item of an equation.
+type Target struct {
+	Sym  *Symbol
+	Subs []ast.Expr // explicit subscript expressions
+	// Implicit lists the trailing array dimensions covered implicitly when
+	// the assigned value is array-typed.
+	Implicit []*types.Subrange
+}
+
+// Rank returns the total number of dimensions the target covers
+// (explicit subscripts plus implicit trailing dimensions).
+func (t *Target) Rank() int { return len(t.Subs) + len(t.Implicit) }
+
+// TypeOf returns the checked type of an expression, or nil when unknown.
+func (m *Module) TypeOf(e ast.Expr) types.Type { return m.exprTypes[e] }
+
+// Lookup resolves a name in the module scope.
+func (m *Module) Lookup(name string) *Symbol { return m.scope[name] }
+
+// SubrangeInfo returns bound-dependency info for a subrange type.
+func (m *Module) SubrangeInfo(s *types.Subrange) *Subrange { return m.subByType[s] }
+
+// IndexVar resolves name to a subrange type usable as an index variable,
+// or nil.
+func (m *Module) IndexVar(name string) *types.Subrange {
+	sym := m.scope[name]
+	if sym == nil || sym.Kind != TypeSym {
+		return nil
+	}
+	if sr, ok := sym.Type.(*types.Subrange); ok {
+		return sr
+	}
+	return nil
+}
+
+// DataSymbols returns params, results and locals in declaration order.
+func (m *Module) DataSymbols() []*Symbol {
+	out := make([]*Symbol, 0, len(m.Params)+len(m.Results)+len(m.Locals))
+	out = append(out, m.Params...)
+	out = append(out, m.Results...)
+	out = append(out, m.Locals...)
+	return out
+}
+
+// checker carries state for checking one module.
+type checker struct {
+	prog    *Program
+	mod     *Module
+	errs    *source.ErrorList
+	anonSeq int
+	// deferredBounds holds bound identifiers whose symbols were untyped
+	// when the bound was checked; they are re-validated once parameter
+	// types resolve.
+	deferredBounds []*ast.Ident
+}
+
+// Check type-checks a parsed program.
+func Check(prog *ast.Program) (*Program, error) {
+	return CheckNamed("", prog)
+}
+
+// CheckNamed is Check with a file name used in diagnostics.
+func CheckNamed(file string, prog *ast.Program) (*Program, error) {
+	errs := source.NewErrorList(file)
+	p := &Program{byName: make(map[string]*Module)}
+	for _, am := range prog.Modules {
+		key := strings.ToLower(am.Name.Name)
+		if p.byName[key] != nil {
+			errs.Addf(am.Name.Pos(), "duplicate module %s", am.Name.Name)
+			continue
+		}
+		m := &Module{
+			Name:      am.Name.Name,
+			AST:       am,
+			Prog:      p,
+			scope:     make(map[string]*Symbol),
+			exprTypes: make(map[ast.Expr]types.Type),
+			subByType: make(map[*types.Subrange]*Subrange),
+		}
+		p.Modules = append(p.Modules, m)
+		p.byName[key] = m
+	}
+	// Two phases: all module signatures (parameters, types, results,
+	// locals) resolve before any define section is checked, so module
+	// calls can validate against their callee's declared interface
+	// regardless of declaration order.
+	checkers := make([]*checker, len(p.Modules))
+	for i, m := range p.Modules {
+		checkers[i] = &checker{prog: p, mod: m, errs: errs}
+		checkers[i].checkSignature()
+	}
+	for _, c := range checkers {
+		c.checkBody()
+	}
+	if err := errs.Err(); err != nil {
+		return nil, err
+	}
+	if err := checkCallCycles(p, errs); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (c *checker) errorf(pos source.Pos, format string, args ...any) {
+	c.errs.Addf(pos, format, args...)
+}
+
+func (c *checker) declare(sym *Symbol) {
+	if old := c.mod.scope[sym.Name]; old != nil {
+		c.errorf(sym.Pos, "%s redeclares %s (previous declaration at %s)", sym.Name, old.Kind, old.Pos)
+		return
+	}
+	c.mod.scope[sym.Name] = sym
+}
+
+// checkSignature resolves the module's interface and declarations.
+func (c *checker) checkSignature() {
+	m := c.mod
+	am := m.AST
+
+	// Parameters first: subrange bounds may reference them. Builtin-named
+	// scalar types (M: int) resolve immediately so bound expressions can
+	// be validated during the type section; array parameter types resolve
+	// after the type section, since they may reference declared subranges.
+	for _, p := range am.Params {
+		var early types.Type
+		if tn, ok := p.Type.(*ast.TypeName); ok {
+			switch strings.ToLower(tn.Name.Name) {
+			case "int", "integer":
+				early = types.Int
+			case "real":
+				early = types.Real
+			case "bool", "boolean":
+				early = types.Bool
+			case "char":
+				early = types.Char
+			case "string":
+				early = types.String
+			}
+		}
+		for _, n := range p.Names {
+			sym := &Symbol{Name: n.Name, Kind: ParamSym, Type: early, Pos: n.Pos(), Index: len(m.Params)}
+			m.Params = append(m.Params, sym)
+			c.declare(sym)
+		}
+	}
+	// Type declarations next (they may use parameters in bounds).
+	for _, d := range am.Types {
+		c.checkTypeDecl(d)
+	}
+	// Parameter types may reference declared subranges, so resolve them
+	// after the type section.
+	i := 0
+	for _, p := range am.Params {
+		t := c.resolveType(p.Type)
+		for range p.Names {
+			m.Params[i].Type = t
+			c.addBoundDeps(m.Params[i])
+			i++
+		}
+	}
+	// Bounds referencing parameters that were untyped during the type
+	// section are now checkable.
+	for _, n := range c.deferredBounds {
+		if sym := m.scope[n.Name]; sym != nil && !types.IsInteger(sym.Type) {
+			c.errorf(n.Pos(), "subrange bound must use integer values; %s has type %s", n.Name, sym.Type)
+		}
+	}
+	for _, p := range am.Results {
+		t := c.resolveType(p.Type)
+		for _, n := range p.Names {
+			sym := &Symbol{Name: n.Name, Kind: ResultSym, Type: t, Pos: n.Pos(), Index: len(m.Results)}
+			m.Results = append(m.Results, sym)
+			c.declare(sym)
+			c.addBoundDeps(sym)
+		}
+	}
+	for _, d := range am.Vars {
+		t := c.resolveType(d.Type)
+		for _, n := range d.Names {
+			sym := &Symbol{Name: n.Name, Kind: LocalSym, Type: t, Pos: n.Pos(), Index: len(m.Locals)}
+			m.Locals = append(m.Locals, sym)
+			c.declare(sym)
+			c.addBoundDeps(sym)
+		}
+	}
+	if len(m.Results) == 0 {
+		c.errorf(am.Name.Pos(), "module %s declares no results", m.Name)
+	}
+}
+
+// checkBody checks the define section; every module signature in the
+// program has been resolved by this point.
+func (c *checker) checkBody() {
+	m := c.mod
+	am := m.AST
+	defined := make(map[*Symbol]int)
+	for i, aeq := range am.Eqs {
+		eq := c.checkEquation(i, aeq)
+		if eq == nil {
+			continue
+		}
+		m.Eqs = append(m.Eqs, eq)
+		for _, t := range eq.Targets {
+			if t.Sym != nil {
+				defined[t.Sym]++
+				if len(t.Subs) == 0 && defined[t.Sym] > 1 {
+					c.errorf(aeq.Pos(), "%s is fully defined by more than one equation", t.Sym.Name)
+				}
+			}
+		}
+	}
+	for _, sym := range append(append([]*Symbol{}, m.Results...), m.Locals...) {
+		if defined[sym] == 0 {
+			c.errorf(sym.Pos, "%s %s has no defining equation", sym.Kind, sym.Name)
+		}
+	}
+}
+
+// addBoundDeps records the scalar symbols used in sym's array bounds.
+func (c *checker) addBoundDeps(sym *Symbol) {
+	arr, ok := sym.Type.(*types.Array)
+	if !ok {
+		return
+	}
+	seen := make(map[*Symbol]bool)
+	for _, d := range arr.Dims {
+		info := c.mod.subByType[d]
+		if info == nil {
+			continue
+		}
+		for _, dep := range info.BoundDeps {
+			if !seen[dep] {
+				seen[dep] = true
+				sym.BoundDeps = append(sym.BoundDeps, dep)
+			}
+		}
+	}
+}
+
+func (c *checker) checkTypeDecl(d *ast.TypeDecl) {
+	// Subrange declarations create one distinct subrange type per name:
+	// `I,J = 0 .. M+1` declares two index domains, not one.
+	if sr, ok := d.Type.(*ast.SubrangeType); ok {
+		for _, n := range d.Names {
+			t := c.newSubrange(n.Name, sr, n.Pos(), false)
+			sym := &Symbol{Name: n.Name, Kind: TypeSym, Type: t, Pos: n.Pos()}
+			c.declare(sym)
+		}
+		return
+	}
+	t := c.resolveType(d.Type)
+	if e, ok := t.(*types.Enum); ok && len(d.Names) > 0 {
+		e.Name = d.Names[0].Name
+	}
+	for _, n := range d.Names {
+		sym := &Symbol{Name: n.Name, Kind: TypeSym, Type: t, Pos: n.Pos()}
+		c.declare(sym)
+	}
+}
+
+// newSubrange builds a subrange type, validating and recording its bound
+// dependencies.
+func (c *checker) newSubrange(name string, sr *ast.SubrangeType, pos source.Pos, anon bool) *types.Subrange {
+	t := &types.Subrange{Name: name, Lo: sr.Lo, Hi: sr.Hi, Anonymous: anon}
+	info := &Subrange{Type: t, Pos: pos}
+	for _, e := range []ast.Expr{sr.Lo, sr.Hi} {
+		c.checkBoundExpr(e, info)
+	}
+	c.mod.Subranges = append(c.mod.Subranges, info)
+	c.mod.subByType[t] = info
+	return t
+}
+
+// checkBoundExpr validates a subrange bound: an integer expression over
+// literals and scalar parameters.
+func (c *checker) checkBoundExpr(e ast.Expr, info *Subrange) {
+	seen := make(map[*Symbol]bool)
+	for _, d := range info.BoundDeps {
+		seen[d] = true
+	}
+	valid := true
+	ast.Inspect(e, func(x ast.Expr) bool {
+		switch n := x.(type) {
+		case *ast.Ident:
+			sym := c.mod.scope[n.Name]
+			if sym == nil {
+				c.errorf(n.Pos(), "undefined name %s in subrange bound", n.Name)
+				valid = false
+				return false
+			}
+			if !sym.IsData() || (sym.Type != nil && !types.IsInteger(sym.Type)) {
+				c.errorf(n.Pos(), "subrange bound must use integer values; %s is a %s", n.Name, sym.Kind)
+				valid = false
+				return false
+			}
+			if sym.Type == nil {
+				c.deferredBounds = append(c.deferredBounds, n)
+			}
+			if !seen[sym] {
+				seen[sym] = true
+				info.BoundDeps = append(info.BoundDeps, sym)
+			}
+		case *ast.RealLit, *ast.StringLit, *ast.CharLit, *ast.BoolLit, *ast.IfExpr, *ast.Call, *ast.Index, *ast.Field:
+			c.errorf(x.Pos(), "invalid subrange bound expression")
+			valid = false
+			return false
+		}
+		return true
+	})
+	_ = valid
+}
+
+func (c *checker) resolveType(te ast.TypeExpr) types.Type {
+	switch t := te.(type) {
+	case *ast.TypeName:
+		switch strings.ToLower(t.Name.Name) {
+		case "int", "integer":
+			return types.Int
+		case "real":
+			return types.Real
+		case "bool", "boolean":
+			return types.Bool
+		case "char":
+			return types.Char
+		case "string":
+			return types.String
+		}
+		sym := c.mod.scope[t.Name.Name]
+		if sym == nil || sym.Kind != TypeSym {
+			c.errorf(t.Pos(), "undefined type %s", t.Name.Name)
+			return types.Int
+		}
+		return sym.Type
+	case *ast.SubrangeType:
+		c.anonSeq++
+		return c.newSubrange(fmt.Sprintf("_r%d", c.anonSeq), t, t.Pos(), true)
+	case *ast.ArrayType:
+		var dims []*types.Subrange
+		for _, d := range t.Dims {
+			dims = append(dims, c.resolveDim(d))
+		}
+		elem := c.resolveType(t.Elem)
+		// Flatten nested arrays: array [K] of array [I,J] of real is a
+		// three-dimensional node (paper §3.1).
+		if inner, ok := elem.(*types.Array); ok {
+			dims = append(dims, inner.Dims...)
+			elem = inner.Elem
+		}
+		if elem.Kind() == types.ArrayKind {
+			c.errorf(t.Pos(), "internal: unflattened nested array")
+		}
+		return &types.Array{Dims: dims, Elem: elem}
+	case *ast.RecordType:
+		rec := &types.Record{}
+		seen := make(map[string]bool)
+		for _, f := range t.Fields {
+			ft := c.resolveType(f.Type)
+			if ft.Kind() == types.ArrayKind {
+				c.errorf(f.Type.Pos(), "array-typed record fields are not supported")
+			}
+			for _, n := range f.Names {
+				if seen[n.Name] {
+					c.errorf(n.Pos(), "duplicate record field %s", n.Name)
+					continue
+				}
+				seen[n.Name] = true
+				rec.Fields = append(rec.Fields, &types.RecField{Name: n.Name, Type: ft})
+			}
+		}
+		return rec
+	case *ast.EnumType:
+		en := &types.Enum{}
+		for _, n := range t.Names {
+			en.Consts = append(en.Consts, n.Name)
+		}
+		for i, n := range t.Names {
+			sym := &Symbol{Name: n.Name, Kind: EnumConstSym, Type: en, Pos: n.Pos(), Index: i}
+			c.declare(sym)
+		}
+		return en
+	}
+	c.errorf(te.Pos(), "invalid type expression")
+	return types.Int
+}
+
+// resolveDim resolves one array dimension to a subrange.
+func (c *checker) resolveDim(te ast.TypeExpr) *types.Subrange {
+	t := c.resolveType(te)
+	if sr, ok := t.(*types.Subrange); ok {
+		return sr
+	}
+	c.errorf(te.Pos(), "array dimension must be a subrange, not %s", t)
+	zero := &ast.IntLit{Value: 0, Lit: "0"}
+	return &types.Subrange{Name: "_err", Lo: zero, Hi: zero, Anonymous: true}
+}

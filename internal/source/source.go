@@ -1,0 +1,167 @@
+// Package source provides source positions, spans and diagnostic error
+// lists shared by the lexer, parser and semantic analyzer.
+package source
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pos is a position within a PS source file. Line and Column are 1-based;
+// Offset is the 0-based byte offset. The zero Pos is "no position".
+type Pos struct {
+	Offset int
+	Line   int
+	Column int
+}
+
+// IsValid reports whether p denotes a real source location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders the position as "line:col" (or "-" if invalid).
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Column)
+}
+
+// Before reports whether p is strictly before q in the file.
+func (p Pos) Before(q Pos) bool { return p.Offset < q.Offset }
+
+// Span is a half-open region [Start, End) of source text.
+type Span struct {
+	Start Pos
+	End   Pos
+}
+
+// String renders the span as "start-end".
+func (s Span) String() string {
+	return s.Start.String() + "-" + s.End.String()
+}
+
+// Diagnostic is a single compiler message attached to a position.
+type Diagnostic struct {
+	Pos  Pos
+	Msg  string
+	File string // optional file name for display
+}
+
+// Error implements the error interface.
+func (d *Diagnostic) Error() string {
+	if d.File != "" {
+		return fmt.Sprintf("%s:%s: %s", d.File, d.Pos, d.Msg)
+	}
+	return fmt.Sprintf("%s: %s", d.Pos, d.Msg)
+}
+
+// ErrorList accumulates diagnostics during a compilation phase. The zero
+// value is ready to use.
+type ErrorList struct {
+	diags []*Diagnostic
+	file  string
+}
+
+// NewErrorList returns an ErrorList that prefixes messages with file.
+func NewErrorList(file string) *ErrorList {
+	return &ErrorList{file: file}
+}
+
+// Addf records a formatted diagnostic at pos.
+func (l *ErrorList) Addf(pos Pos, format string, args ...any) {
+	l.diags = append(l.diags, &Diagnostic{Pos: pos, Msg: fmt.Sprintf(format, args...), File: l.file})
+}
+
+// Add records a pre-built diagnostic.
+func (l *ErrorList) Add(d *Diagnostic) { l.diags = append(l.diags, d) }
+
+// Len returns the number of recorded diagnostics.
+func (l *ErrorList) Len() int { return len(l.diags) }
+
+// Diagnostics returns the recorded diagnostics sorted by position.
+func (l *ErrorList) Diagnostics() []*Diagnostic {
+	out := make([]*Diagnostic, len(l.diags))
+	copy(out, l.diags)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos.Before(out[j].Pos) })
+	return out
+}
+
+// Err returns nil if the list is empty, otherwise an error whose message
+// joins every diagnostic, one per line, in source order.
+func (l *ErrorList) Err() error {
+	if l == nil || len(l.diags) == 0 {
+		return nil
+	}
+	return l
+}
+
+// Error implements the error interface for a non-empty list.
+func (l *ErrorList) Error() string {
+	ds := l.Diagnostics()
+	msgs := make([]string, len(ds))
+	for i, d := range ds {
+		msgs[i] = d.Error()
+	}
+	return strings.Join(msgs, "\n")
+}
+
+// File wraps source text and maps byte offsets back to positions; it is
+// used by tools that only retain offsets.
+type File struct {
+	Name    string
+	Content string
+	lines   []int // byte offset of the start of each line
+}
+
+// NewFile indexes content for position lookups.
+func NewFile(name, content string) *File {
+	f := &File{Name: name, Content: content}
+	f.lines = append(f.lines, 0)
+	for i := 0; i < len(content); i++ {
+		if content[i] == '\n' {
+			f.lines = append(f.lines, i+1)
+		}
+	}
+	return f
+}
+
+// PosFor converts a byte offset into a full Pos.
+func (f *File) PosFor(offset int) Pos {
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > len(f.Content) {
+		offset = len(f.Content)
+	}
+	// Binary search for the line containing offset.
+	lo, hi := 0, len(f.lines)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if f.lines[mid] <= offset {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return Pos{Offset: offset, Line: lo + 1, Column: offset - f.lines[lo] + 1}
+}
+
+// NumLines returns the number of lines in the file.
+func (f *File) NumLines() int { return len(f.lines) }
+
+// Line returns the text of 1-based line n without its trailing newline.
+func (f *File) Line(n int) string {
+	if n < 1 || n > len(f.lines) {
+		return ""
+	}
+	start := f.lines[n-1]
+	end := len(f.Content)
+	if n < len(f.lines) {
+		end = f.lines[n] - 1
+	}
+	if end < start {
+		end = start
+	}
+	return f.Content[start:end]
+}

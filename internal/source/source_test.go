@@ -1,0 +1,118 @@
+package source_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/source"
+)
+
+// TestPosFor verifies offset→line/column mapping.
+func TestPosFor(t *testing.T) {
+	f := source.NewFile("t.ps", "abc\ndef\n\nx")
+	cases := []struct {
+		off       int
+		line, col int
+	}{
+		{0, 1, 1}, {2, 1, 3}, {3, 1, 4}, // newline belongs to line 1
+		{4, 2, 1}, {7, 2, 4},
+		{8, 3, 1},
+		{9, 4, 1},
+	}
+	for _, tc := range cases {
+		p := f.PosFor(tc.off)
+		if p.Line != tc.line || p.Column != tc.col {
+			t.Errorf("PosFor(%d) = %d:%d, want %d:%d", tc.off, p.Line, p.Column, tc.line, tc.col)
+		}
+	}
+	// Clamping.
+	if p := f.PosFor(-5); p.Offset != 0 {
+		t.Error("negative offset not clamped")
+	}
+	if p := f.PosFor(1000); p.Offset != len(f.Content) {
+		t.Error("overlong offset not clamped")
+	}
+}
+
+// TestLine verifies line extraction.
+func TestLine(t *testing.T) {
+	f := source.NewFile("t.ps", "first\nsecond\nthird")
+	if f.NumLines() != 3 {
+		t.Errorf("NumLines = %d", f.NumLines())
+	}
+	for i, want := range []string{"first", "second", "third"} {
+		if got := f.Line(i + 1); got != want {
+			t.Errorf("Line(%d) = %q, want %q", i+1, got, want)
+		}
+	}
+	if f.Line(0) != "" || f.Line(9) != "" {
+		t.Error("out-of-range lines not empty")
+	}
+}
+
+// TestPosForProperty: for any content and valid offset, the returned
+// position round-trips (the offset of line start + column - 1 == offset).
+func TestPosForProperty(t *testing.T) {
+	f := func(content string, offRaw uint16) bool {
+		file := source.NewFile("f", content)
+		if len(content) == 0 {
+			return true
+		}
+		off := int(offRaw) % len(content)
+		p := file.PosFor(off)
+		if p.Offset != off || p.Line < 1 || p.Column < 1 {
+			return false
+		}
+		// Count newlines before off to verify the line number.
+		wantLine := 1 + strings.Count(content[:off], "\n")
+		return p.Line == wantLine
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestErrorList verifies ordering and formatting.
+func TestErrorList(t *testing.T) {
+	l := source.NewErrorList("file.ps")
+	if l.Err() != nil {
+		t.Error("empty list returned an error")
+	}
+	l.Addf(source.Pos{Offset: 30, Line: 3, Column: 1}, "later")
+	l.Addf(source.Pos{Offset: 2, Line: 1, Column: 3}, "earlier %d", 7)
+	err := l.Err()
+	if err == nil {
+		t.Fatal("non-empty list returned nil")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "file.ps:1:3: earlier 7") {
+		t.Errorf("message %q missing formatted diagnostic", msg)
+	}
+	if strings.Index(msg, "earlier") > strings.Index(msg, "later") {
+		t.Error("diagnostics not sorted by position")
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len = %d", l.Len())
+	}
+}
+
+// TestPos covers the position primitives.
+func TestPos(t *testing.T) {
+	var zero source.Pos
+	if zero.IsValid() || zero.String() != "-" {
+		t.Error("zero Pos misbehaves")
+	}
+	p := source.Pos{Offset: 5, Line: 2, Column: 1}
+	q := source.Pos{Offset: 9, Line: 2, Column: 5}
+	if !p.Before(q) || q.Before(p) {
+		t.Error("Before ordering wrong")
+	}
+	if p.String() != "2:1" {
+		t.Errorf("String = %q", p.String())
+	}
+	s := source.Span{Start: p, End: q}
+	if s.String() != "2:1-2:5" {
+		t.Errorf("Span = %q", s.String())
+	}
+}

@@ -1,0 +1,177 @@
+// Package token defines the lexical tokens of the PS language.
+//
+// PS (Problem Specification) is the very high level nonprocedural dataflow
+// language of Gokhale (ICASE 87-23). Its lexical structure is Pascal-like:
+// case-insensitive keywords, (* ... *) comments, and the usual operator set
+// plus '..' for subranges and '=' for both equations and equality.
+package token
+
+import "strings"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+// Token kinds. Literal and identifier kinds carry text; operator and
+// keyword kinds are fully identified by the kind alone.
+const (
+	ILLEGAL Kind = iota
+	EOF
+	COMMENT
+
+	// Literals and identifiers.
+	IDENT  // InitialA
+	INT    // 42
+	REAL   // 3.14, 1e-6
+	STRING // 'hello'
+	CHAR   // 'a' (single character string literal used in char context)
+
+	// Operators and delimiters.
+	PLUS   // +
+	MINUS  // -
+	STAR   // *
+	SLASH  // /
+	EQ     // =
+	NEQ    // <>
+	LT     // <
+	LE     // <=
+	GT     // >
+	GE     // >=
+	LPAREN // (
+	RPAREN // )
+	LBRACK // [
+	RBRACK // ]
+	COMMA  // ,
+	COLON  // :
+	SEMI   // ;
+	DOT    // .
+	DOTDOT // ..
+
+	// Keywords.
+	kwStart
+	MODULE
+	TYPE
+	VAR
+	DEFINE
+	END
+	IF
+	THEN
+	ELSE
+	ELSIF
+	ARRAY
+	OF
+	RECORD
+	AND
+	OR
+	NOT
+	DIV
+	MOD
+	TRUE
+	FALSE
+	kwEnd
+)
+
+var names = map[Kind]string{
+	ILLEGAL: "ILLEGAL",
+	EOF:     "EOF",
+	COMMENT: "COMMENT",
+	IDENT:   "IDENT",
+	INT:     "INT",
+	REAL:    "REAL",
+	STRING:  "STRING",
+	CHAR:    "CHAR",
+	PLUS:    "+",
+	MINUS:   "-",
+	STAR:    "*",
+	SLASH:   "/",
+	EQ:      "=",
+	NEQ:     "<>",
+	LT:      "<",
+	LE:      "<=",
+	GT:      ">",
+	GE:      ">=",
+	LPAREN:  "(",
+	RPAREN:  ")",
+	LBRACK:  "[",
+	RBRACK:  "]",
+	COMMA:   ",",
+	COLON:   ":",
+	SEMI:    ";",
+	DOT:     ".",
+	DOTDOT:  "..",
+	MODULE:  "module",
+	TYPE:    "type",
+	VAR:     "var",
+	DEFINE:  "define",
+	END:     "end",
+	IF:      "if",
+	THEN:    "then",
+	ELSE:    "else",
+	ELSIF:   "elsif",
+	ARRAY:   "array",
+	OF:      "of",
+	RECORD:  "record",
+	AND:     "and",
+	OR:      "or",
+	NOT:     "not",
+	DIV:     "div",
+	MOD:     "mod",
+	TRUE:    "true",
+	FALSE:   "false",
+}
+
+// String returns the token kind's display name (the literal spelling for
+// operators and keywords).
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return "UNKNOWN"
+}
+
+// IsKeyword reports whether k is a reserved word.
+func (k Kind) IsKeyword() bool { return k > kwStart && k < kwEnd }
+
+// IsLiteral reports whether k carries literal text (identifier or constant).
+func (k Kind) IsLiteral() bool {
+	switch k {
+	case IDENT, INT, REAL, STRING, CHAR:
+		return true
+	}
+	return false
+}
+
+var keywords map[string]Kind
+
+func init() {
+	keywords = make(map[string]Kind, int(kwEnd-kwStart))
+	for k := kwStart + 1; k < kwEnd; k++ {
+		keywords[names[k]] = k
+	}
+}
+
+// Lookup maps an identifier spelling to its keyword kind, or IDENT.
+// PS keywords are case-insensitive, following Pascal.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[strings.ToLower(ident)]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// Precedence levels for binary operators, Pascal-style: relational ops bind
+// loosest, then additive (including OR), then multiplicative (including
+// AND). Returns 0 for non-operators.
+func (k Kind) Precedence() int {
+	switch k {
+	case EQ, NEQ, LT, LE, GT, GE:
+		return 1
+	case PLUS, MINUS, OR:
+		return 2
+	case STAR, SLASH, DIV, MOD, AND:
+		return 3
+	}
+	return 0
+}
+
+// HighestPrec is the precedence of the tightest-binding binary operators.
+const HighestPrec = 3

@@ -1,0 +1,68 @@
+package token_test
+
+import (
+	"testing"
+
+	"repro/internal/token"
+)
+
+// TestLookup covers keyword recognition and case folding.
+func TestLookup(t *testing.T) {
+	cases := map[string]token.Kind{
+		"module": token.MODULE, "MODULE": token.MODULE,
+		"define": token.DEFINE, "Array": token.ARRAY,
+		"and": token.AND, "Or": token.OR, "NOT": token.NOT,
+		"div": token.DIV, "mod": token.MOD,
+		"true": token.TRUE, "false": token.FALSE,
+		"elsif": token.ELSIF, "record": token.RECORD,
+		"myname": token.IDENT, "modules": token.IDENT,
+	}
+	for s, want := range cases {
+		if got := token.Lookup(s); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+// TestPrecedence covers the Pascal operator hierarchy.
+func TestPrecedence(t *testing.T) {
+	rel := []token.Kind{token.EQ, token.NEQ, token.LT, token.LE, token.GT, token.GE}
+	add := []token.Kind{token.PLUS, token.MINUS, token.OR}
+	mul := []token.Kind{token.STAR, token.SLASH, token.DIV, token.MOD, token.AND}
+	for _, k := range rel {
+		if k.Precedence() != 1 {
+			t.Errorf("%v precedence %d, want 1", k, k.Precedence())
+		}
+	}
+	for _, k := range add {
+		if k.Precedence() != 2 {
+			t.Errorf("%v precedence %d, want 2", k, k.Precedence())
+		}
+	}
+	for _, k := range mul {
+		if k.Precedence() != token.HighestPrec {
+			t.Errorf("%v precedence %d, want %d", k, k.Precedence(), token.HighestPrec)
+		}
+	}
+	if token.IDENT.Precedence() != 0 || token.LPAREN.Precedence() != 0 {
+		t.Error("non-operators must have precedence 0")
+	}
+}
+
+// TestClassification covers the kind predicates and names.
+func TestClassification(t *testing.T) {
+	if !token.MODULE.IsKeyword() || token.IDENT.IsKeyword() || token.PLUS.IsKeyword() {
+		t.Error("IsKeyword misclassifies")
+	}
+	for _, k := range []token.Kind{token.IDENT, token.INT, token.REAL, token.STRING, token.CHAR} {
+		if !k.IsLiteral() {
+			t.Errorf("%v should be literal", k)
+		}
+	}
+	if token.SEMI.IsLiteral() {
+		t.Error("';' is not a literal")
+	}
+	if token.DOTDOT.String() != ".." || token.MODULE.String() != "module" {
+		t.Error("token spellings wrong")
+	}
+}

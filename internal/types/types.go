@@ -1,0 +1,279 @@
+// Package types defines the PS type system: the standard Pascal-like data
+// types the paper lists in §2 — primitive types, enumerations, arrays and
+// records — plus integer subrange types, which double as the loop index
+// domains the scheduler reasons about.
+//
+// Subrange identity matters: `I, J = 0 .. M+1` declares two distinct
+// subrange types with equal bounds, and an equation subscripted A[K,I,J]
+// iterates the *specific* subranges K, I and J. Subranges are therefore
+// compared by pointer, never structurally.
+package types
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Kind discriminates the type representations.
+type Kind int
+
+// Type kinds.
+const (
+	Invalid Kind = iota
+	IntKind
+	RealKind
+	BoolKind
+	CharKind
+	StringKind
+	SubrangeKind
+	ArrayKind
+	RecordKind
+	EnumKind
+)
+
+// Type is the interface implemented by all PS types.
+type Type interface {
+	Kind() Kind
+	String() string
+}
+
+// Basic is a primitive type: int, real, bool, char, string.
+type Basic struct {
+	kind Kind
+	name string
+}
+
+// The singleton basic types.
+var (
+	Int    = &Basic{IntKind, "int"}
+	Real   = &Basic{RealKind, "real"}
+	Bool   = &Basic{BoolKind, "bool"}
+	Char   = &Basic{CharKind, "char"}
+	String = &Basic{StringKind, "string"}
+)
+
+// Kind returns the basic type's kind.
+func (b *Basic) Kind() Kind { return b.kind }
+
+// String returns the PS spelling of the basic type.
+func (b *Basic) String() string { return b.name }
+
+// Subrange is an integer subrange lo .. hi. Bounds are expressions over
+// integer literals and scalar module parameters (e.g. 0 .. M+1), so their
+// concrete extent is generally known only at run time.
+type Subrange struct {
+	// Name is the declared type name ("K", "I"); synthesized subranges for
+	// anonymous array dimensions get a generated name like "_d1".
+	Name string
+	Lo   ast.Expr
+	Hi   ast.Expr
+	// Anonymous records that the subrange was written inline in an array
+	// declaration rather than declared in a type section.
+	Anonymous bool
+}
+
+// Kind returns SubrangeKind.
+func (s *Subrange) Kind() Kind { return SubrangeKind }
+
+// String renders the subrange as "Name" or "lo .. hi" when anonymous.
+func (s *Subrange) String() string {
+	if s.Name != "" && !s.Anonymous {
+		return s.Name
+	}
+	return fmt.Sprintf("%s .. %s", ast.ExprString(s.Lo), ast.ExprString(s.Hi))
+}
+
+// BoundsString always renders the explicit bounds.
+func (s *Subrange) BoundsString() string {
+	return fmt.Sprintf("%s .. %s", ast.ExprString(s.Lo), ast.ExprString(s.Hi))
+}
+
+// Array is a (possibly multi-dimensional) array type. Nested array
+// declarations are flattened: `array [K] of array [I,J] of real` has three
+// dimensions, matching the paper's treatment of A[K,I,J] as a node with
+// three node labels (§3.1).
+type Array struct {
+	Dims []*Subrange
+	Elem Type // non-array element type
+}
+
+// Kind returns ArrayKind.
+func (a *Array) Kind() Kind { return ArrayKind }
+
+// String renders the array type in PS syntax.
+func (a *Array) String() string {
+	var sb strings.Builder
+	sb.WriteString("array [")
+	for i, d := range a.Dims {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(d.String())
+	}
+	sb.WriteString("] of ")
+	sb.WriteString(a.Elem.String())
+	return sb.String()
+}
+
+// Slice returns the type of the array after applying n leading subscripts:
+// the element type if all dimensions are consumed, else an array of the
+// remaining dimensions.
+func (a *Array) Slice(n int) Type {
+	if n >= len(a.Dims) {
+		return a.Elem
+	}
+	return &Array{Dims: a.Dims[n:], Elem: a.Elem}
+}
+
+// RecField is one field of a record type.
+type RecField struct {
+	Name string
+	Type Type
+}
+
+// Record is a record (struct) type.
+type Record struct {
+	Fields []*RecField
+}
+
+// Kind returns RecordKind.
+func (r *Record) Kind() Kind { return RecordKind }
+
+// String renders the record type in PS syntax.
+func (r *Record) String() string {
+	var sb strings.Builder
+	sb.WriteString("record ")
+	for i, f := range r.Fields {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		sb.WriteString(f.Name)
+		sb.WriteString(": ")
+		sb.WriteString(f.Type.String())
+	}
+	sb.WriteString(" end")
+	return sb.String()
+}
+
+// Field returns the named field, or nil.
+func (r *Record) Field(name string) *RecField {
+	for _, f := range r.Fields {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Enum is an enumeration type; values are the ordinals of its constants.
+type Enum struct {
+	Name   string
+	Consts []string
+}
+
+// Kind returns EnumKind.
+func (e *Enum) Kind() Kind { return EnumKind }
+
+// String renders the enum as its name, or its constant list if anonymous.
+func (e *Enum) String() string {
+	if e.Name != "" {
+		return e.Name
+	}
+	return "(" + strings.Join(e.Consts, ", ") + ")"
+}
+
+// Ordinal returns the 0-based ordinal of the named constant and whether it
+// belongs to the enum.
+func (e *Enum) Ordinal(name string) (int, bool) {
+	for i, c := range e.Consts {
+		if c == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// IsInteger reports whether t is int or an integer subrange.
+func IsInteger(t Type) bool {
+	return t != nil && (t.Kind() == IntKind || t.Kind() == SubrangeKind)
+}
+
+// IsNumeric reports whether t is usable in arithmetic.
+func IsNumeric(t Type) bool {
+	return IsInteger(t) || (t != nil && t.Kind() == RealKind)
+}
+
+// IsOrdered reports whether values of t can be compared with < <= > >=.
+func IsOrdered(t Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Kind() {
+	case IntKind, RealKind, SubrangeKind, CharKind, StringKind, EnumKind:
+		return true
+	}
+	return false
+}
+
+// Equal reports type compatibility for assignment and comparison purposes.
+// Integer subranges are compatible with int and with each other; arrays are
+// compatible when their ranks agree and element types are compatible
+// (dimension extents are checked at run time, since bounds may be symbolic);
+// records and enums compare by identity.
+func Equal(a, b Type) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	if IsInteger(a) && IsInteger(b) {
+		return true
+	}
+	ka, kb := a.Kind(), b.Kind()
+	if ka != kb {
+		return false
+	}
+	switch ka {
+	case ArrayKind:
+		aa, ba := a.(*Array), b.(*Array)
+		return len(aa.Dims) == len(ba.Dims) && Equal(aa.Elem, ba.Elem)
+	case RealKind, BoolKind, CharKind, StringKind:
+		return true
+	}
+	return false
+}
+
+// AssignableTo reports whether a value of type src may define a target of
+// type dst. It is Equal plus the implicit int→real widening.
+func AssignableTo(src, dst Type) bool {
+	if Equal(src, dst) {
+		return true
+	}
+	if dst != nil && dst.Kind() == RealKind && IsInteger(src) {
+		return true
+	}
+	if dst != nil && src != nil && dst.Kind() == ArrayKind && src.Kind() == ArrayKind {
+		da, sa := dst.(*Array), src.(*Array)
+		return len(da.Dims) == len(sa.Dims) && AssignableTo(sa.Elem, da.Elem)
+	}
+	return false
+}
+
+// Elem returns the element type of an array type, or nil.
+func Elem(t Type) Type {
+	if a, ok := t.(*Array); ok {
+		return a.Elem
+	}
+	return nil
+}
+
+// Rank returns the number of array dimensions of t (0 for scalars).
+func Rank(t Type) int {
+	if a, ok := t.(*Array); ok {
+		return len(a.Dims)
+	}
+	return 0
+}

@@ -1,0 +1,173 @@
+package types_test
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/types"
+)
+
+func subrange(name string, lo, hi int64) *types.Subrange {
+	return &types.Subrange{
+		Name: name,
+		Lo:   &ast.IntLit{Value: lo, Lit: ""},
+		Hi:   &ast.IntLit{Value: hi, Lit: ""},
+	}
+}
+
+// TestSubrangeIdentity verifies pointer identity semantics: equal bounds
+// do not make two subranges the same index domain.
+func TestSubrangeIdentity(t *testing.T) {
+	i := subrange("I", 0, 10)
+	j := subrange("J", 0, 10)
+	if i == j {
+		t.Fatal("distinct subranges compare identical")
+	}
+	// But both are integer-compatible.
+	if !types.Equal(i, j) || !types.Equal(i, types.Int) {
+		t.Error("integer subranges must be type-compatible with int and each other")
+	}
+}
+
+// TestEqualBasics covers the compatibility lattice.
+func TestEqualBasics(t *testing.T) {
+	if types.Equal(types.Int, types.Real) {
+		t.Error("int and real must not be Equal")
+	}
+	if !types.Equal(types.Real, types.Real) || !types.Equal(types.Bool, types.Bool) {
+		t.Error("basic identity failed")
+	}
+	if types.Equal(types.Char, types.String) {
+		t.Error("char and string must differ")
+	}
+	if types.Equal(nil, types.Int) || types.Equal(types.Int, nil) {
+		t.Error("nil comparisons must be false")
+	}
+}
+
+// TestAssignable covers the int→real widening and array compatibility.
+func TestAssignable(t *testing.T) {
+	if !types.AssignableTo(types.Int, types.Real) {
+		t.Error("int must widen to real")
+	}
+	if types.AssignableTo(types.Real, types.Int) {
+		t.Error("real must not narrow to int")
+	}
+	a2 := &types.Array{Dims: []*types.Subrange{subrange("I", 0, 5), subrange("J", 0, 5)}, Elem: types.Real}
+	b2 := &types.Array{Dims: []*types.Subrange{subrange("X", 1, 9), subrange("Y", 1, 9)}, Elem: types.Real}
+	c1 := &types.Array{Dims: []*types.Subrange{subrange("I", 0, 5)}, Elem: types.Real}
+	intArr := &types.Array{Dims: []*types.Subrange{subrange("I", 0, 5), subrange("J", 0, 5)}, Elem: types.Int}
+	if !types.AssignableTo(a2, b2) {
+		t.Error("same-rank real arrays must be assignable (extents are runtime)")
+	}
+	if types.AssignableTo(a2, c1) {
+		t.Error("rank-mismatched arrays must not be assignable")
+	}
+	if !types.AssignableTo(intArr, a2) {
+		t.Error("int array must widen element-wise to real array")
+	}
+	if types.AssignableTo(a2, intArr) {
+		t.Error("real array must not narrow to int array")
+	}
+}
+
+// TestArraySlice covers partial subscripting types.
+func TestArraySlice(t *testing.T) {
+	a := &types.Array{
+		Dims: []*types.Subrange{subrange("K", 1, 4), subrange("I", 0, 5), subrange("J", 0, 5)},
+		Elem: types.Real,
+	}
+	if got := a.Slice(0); types.Rank(got) != 3 {
+		t.Errorf("Slice(0) rank %d", types.Rank(got))
+	}
+	if got := a.Slice(1); types.Rank(got) != 2 {
+		t.Errorf("Slice(1) rank %d", types.Rank(got))
+	}
+	if got := a.Slice(3); got != types.Real {
+		t.Errorf("Slice(3) = %s, want real", got)
+	}
+	if got := a.Slice(7); got != types.Real {
+		t.Errorf("over-slice = %s, want real", got)
+	}
+	if types.Elem(a) != types.Real {
+		t.Error("Elem failed")
+	}
+	if types.Elem(types.Int) != nil {
+		t.Error("Elem of scalar must be nil")
+	}
+}
+
+// TestPredicates covers the classification helpers.
+func TestPredicates(t *testing.T) {
+	sr := subrange("I", 0, 3)
+	if !types.IsInteger(types.Int) || !types.IsInteger(sr) || types.IsInteger(types.Real) {
+		t.Error("IsInteger misclassifies")
+	}
+	if !types.IsNumeric(types.Real) || !types.IsNumeric(sr) || types.IsNumeric(types.Bool) {
+		t.Error("IsNumeric misclassifies")
+	}
+	for _, ord := range []types.Type{types.Int, types.Real, types.Char, types.String, sr} {
+		if !types.IsOrdered(ord) {
+			t.Errorf("%s should be ordered", ord)
+		}
+	}
+	if types.IsOrdered(&types.Record{}) {
+		t.Error("records must not be ordered")
+	}
+}
+
+// TestStrings covers display forms used in diagnostics and C generation.
+func TestStrings(t *testing.T) {
+	sr := subrange("K", 2, 9)
+	if sr.String() != "K" {
+		t.Errorf("named subrange prints %q", sr.String())
+	}
+	if sr.BoundsString() != "2 .. 9" {
+		t.Errorf("bounds print %q", sr.BoundsString())
+	}
+	anon := subrange("_r1", 1, 5)
+	anon.Anonymous = true
+	if anon.String() != "1 .. 5" {
+		t.Errorf("anonymous subrange prints %q", anon.String())
+	}
+	arr := &types.Array{Dims: []*types.Subrange{sr}, Elem: types.Real}
+	if arr.String() != "array [K] of real" {
+		t.Errorf("array prints %q", arr.String())
+	}
+	rec := &types.Record{Fields: []*types.RecField{{Name: "x", Type: types.Real}}}
+	if rec.String() != "record x: real end" {
+		t.Errorf("record prints %q", rec.String())
+	}
+	en := &types.Enum{Consts: []string{"red", "green"}}
+	if en.String() != "(red, green)" {
+		t.Errorf("anonymous enum prints %q", en.String())
+	}
+	en.Name = "Color"
+	if en.String() != "Color" {
+		t.Errorf("named enum prints %q", en.String())
+	}
+}
+
+// TestEnumOrdinal covers constant lookup.
+func TestEnumOrdinal(t *testing.T) {
+	en := &types.Enum{Name: "C", Consts: []string{"a", "b", "c"}}
+	if ord, ok := en.Ordinal("b"); !ok || ord != 1 {
+		t.Errorf("ordinal(b) = %d, %v", ord, ok)
+	}
+	if _, ok := en.Ordinal("z"); ok {
+		t.Error("missing constant found")
+	}
+}
+
+// TestRecordField covers field lookup.
+func TestRecordField(t *testing.T) {
+	rec := &types.Record{Fields: []*types.RecField{
+		{Name: "x", Type: types.Real}, {Name: "tag", Type: types.Int},
+	}}
+	if f := rec.Field("tag"); f == nil || f.Type != types.Int {
+		t.Error("field lookup failed")
+	}
+	if rec.Field("nope") != nil {
+		t.Error("phantom field found")
+	}
+}

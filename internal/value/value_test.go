@@ -1,0 +1,214 @@
+package value_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// TestPhysicalArray covers plain allocation and addressing.
+func TestPhysicalArray(t *testing.T) {
+	a := value.NewArray(types.RealKind, []value.Axis{
+		{Lo: 0, Hi: 3}, {Lo: 1, Hi: 2},
+	})
+	if a.Len() != 8 {
+		t.Fatalf("len %d, want 8", a.Len())
+	}
+	v := 0.0
+	for i := int64(0); i <= 3; i++ {
+		for j := int64(1); j <= 2; j++ {
+			a.SetF([]int64{i, j}, v)
+			v++
+		}
+	}
+	v = 0.0
+	for i := int64(0); i <= 3; i++ {
+		for j := int64(1); j <= 2; j++ {
+			if got := a.GetF([]int64{i, j}); got != v {
+				t.Errorf("a[%d,%d] = %g, want %g", i, j, got, v)
+			}
+			v++
+		}
+	}
+}
+
+// TestWindowedArray verifies §3.4 window semantics: plane x aliases plane
+// x-w, and the most recent w planes are always intact.
+func TestWindowedArray(t *testing.T) {
+	const w = 2
+	a := value.NewArray(types.RealKind, []value.Axis{
+		{Lo: 1, Hi: 10, Window: w}, {Lo: 0, Hi: 4},
+	})
+	if a.Len() != int64(w*5) {
+		t.Fatalf("windowed len %d, want %d", a.Len(), w*5)
+	}
+	for k := int64(1); k <= 10; k++ {
+		for j := int64(0); j <= 4; j++ {
+			a.SetF([]int64{k, j}, float64(100*k)+float64(j))
+		}
+		// The current and previous planes must be readable.
+		for back := int64(0); back < w && k-back >= 1; back++ {
+			for j := int64(0); j <= 4; j++ {
+				want := float64(100*(k-back)) + float64(j)
+				if got := a.GetF([]int64{k - back, j}); got != want {
+					t.Fatalf("after writing plane %d: a[%d,%d] = %g, want %g", k, k-back, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestWindowAliasing is a property test: with window w, logical planes x
+// and y share storage exactly when (x-lo) ≡ (y-lo) mod w.
+func TestWindowAliasing(t *testing.T) {
+	f := func(loRaw int8, extentRaw, wRaw uint8, xOff, yOff uint8) bool {
+		lo := int64(loRaw)
+		extent := int64(extentRaw%40) + 2
+		w := int(wRaw%5) + 1
+		a := value.NewArray(types.RealKind, []value.Axis{{Lo: lo, Hi: lo + extent - 1, Window: w}})
+		x := lo + int64(xOff)%extent
+		y := lo + int64(yOff)%extent
+		ox := a.Offset([]int64{x})
+		oy := a.Offset([]int64{y})
+		wEff := int64(w)
+		if wEff > extent {
+			wEff = extent
+		}
+		alias := (x-lo)%wEff == (y-lo)%wEff
+		return (ox == oy) == alias
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOutOfRange covers subscript validation.
+func TestOutOfRange(t *testing.T) {
+	a := value.NewArray(types.RealKind, []value.Axis{{Lo: 1, Hi: 3}})
+	if _, err := a.OffsetChecked([]int64{0}); err == nil {
+		t.Error("below-lo subscript accepted")
+	}
+	if _, err := a.OffsetChecked([]int64{4}); err == nil {
+		t.Error("above-hi subscript accepted")
+	}
+	if _, err := a.OffsetChecked([]int64{1, 1}); err == nil {
+		t.Error("wrong-rank subscript accepted")
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("Offset did not panic out of range")
+		} else if _, ok := r.(value.Error); !ok {
+			t.Errorf("panic payload %T, want value.Error", r)
+		}
+	}()
+	a.Offset([]int64{7})
+}
+
+// TestStrictMode covers single-assignment and undefined-read detection.
+func TestStrictMode(t *testing.T) {
+	a := value.NewArray(types.RealKind, []value.Axis{{Lo: 0, Hi: 3}})
+	a.EnableStrict()
+	a.SetF([]int64{1}, 5)
+	if got := a.GetF([]int64{1}); got != 5 {
+		t.Errorf("got %g", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double write not detected")
+			}
+		}()
+		a.SetF([]int64{1}, 6)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("undefined read not detected")
+			}
+		}()
+		a.GetF([]int64{2})
+	}()
+	// Windowed arrays may legally rewrite physical slots.
+	w := value.NewArray(types.RealKind, []value.Axis{{Lo: 1, Hi: 8, Window: 2}})
+	w.EnableStrict()
+	for k := int64(1); k <= 8; k++ {
+		w.SetF([]int64{k}, float64(k))
+	}
+}
+
+// TestIntBoolBackings covers the non-real element kinds.
+func TestIntBoolBackings(t *testing.T) {
+	ai := value.NewArray(types.IntKind, []value.Axis{{Lo: 0, Hi: 2}})
+	ai.SetI([]int64{1}, 42)
+	if ai.GetI([]int64{1}) != 42 {
+		t.Error("int array roundtrip failed")
+	}
+	ab := value.NewArray(types.BoolKind, []value.Axis{{Lo: 0, Hi: 2}})
+	ab.SetB([]int64{2}, true)
+	if !ab.GetB([]int64{2}) {
+		t.Error("bool array roundtrip failed")
+	}
+	if ai.Get([]int64{1}).(int64) != 42 {
+		t.Error("boxed int read failed")
+	}
+	ai.Set([]int64{0}, int64(7))
+	if ai.GetI([]int64{0}) != 7 {
+		t.Error("boxed int write failed")
+	}
+}
+
+// TestEqualAndDiff covers the comparison helpers.
+func TestEqualAndDiff(t *testing.T) {
+	mk := func() *value.Array {
+		a := value.NewArray(types.RealKind, []value.Axis{{Lo: 0, Hi: 1}, {Lo: 0, Hi: 1}})
+		a.SetF([]int64{0, 0}, 1)
+		a.SetF([]int64{0, 1}, 2)
+		a.SetF([]int64{1, 0}, 3)
+		a.SetF([]int64{1, 1}, 4)
+		return a
+	}
+	a, b := mk(), mk()
+	if !a.Equal(b) {
+		t.Error("identical arrays unequal")
+	}
+	b.SetF([]int64{1, 1}, 6.5)
+	if a.Equal(b) {
+		t.Error("different arrays equal")
+	}
+	if d := a.MaxAbsDiff(b); d != 2.5 {
+		t.Errorf("max diff %g, want 2.5", d)
+	}
+	c := value.NewArray(types.RealKind, []value.Axis{{Lo: 0, Hi: 2}})
+	if a.Equal(c) {
+		t.Error("shape-mismatched arrays equal")
+	}
+}
+
+// TestRecord covers record field access.
+func TestRecord(t *testing.T) {
+	rt := &types.Record{Fields: []*types.RecField{
+		{Name: "x", Type: types.Real}, {Name: "y", Type: types.Real},
+	}}
+	r := &value.Record{Type: rt, Fields: []any{1.5, 2.5}}
+	if r.Field("y").(float64) != 2.5 {
+		t.Error("field access failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("missing field access did not panic")
+		}
+	}()
+	r.Field("z")
+}
+
+// TestConversions covers the boxing helpers.
+func TestConversions(t *testing.T) {
+	if value.ToFloat(int64(3)) != 3.0 || value.ToFloat(2.5) != 2.5 || value.ToFloat(4) != 4.0 {
+		t.Error("ToFloat failed")
+	}
+	if value.ToInt(3.9) != 3 || value.ToInt(int64(5)) != 5 || value.ToInt(6) != 6 {
+		t.Error("ToInt failed")
+	}
+}

@@ -1,0 +1,235 @@
+package ps
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/sem"
+	"repro/internal/token"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// ArgsFromJSON converts a map of JSON parameter values into the argument
+// list for the named module: scalars as numbers/booleans/strings, arrays
+// as nested lists shaped to the declared dimensions (whose bounds may
+// reference the scalar parameters in the same map).
+func ArgsFromJSON(p *Program, module string, inputs map[string]json.RawMessage) ([]any, error) {
+	m := p.Module(module)
+	if m == nil {
+		return nil, fmt.Errorf("ps: no module %s", module)
+	}
+	sm := m.sem
+
+	// First pass: scalar parameters, needed to evaluate array bounds.
+	env := make(map[string]int64)
+	args := make([]any, len(sm.Params))
+	for i, sym := range sm.Params {
+		raw, ok := inputs[sym.Name]
+		if !ok {
+			return nil, fmt.Errorf("ps: missing input %s", sym.Name)
+		}
+		if types.Rank(sym.Type) > 0 {
+			continue
+		}
+		var err error
+		args[i], err = scalarFromJSON(raw, sym.Type)
+		if err != nil {
+			return nil, fmt.Errorf("ps: input %s: %w", sym.Name, err)
+		}
+		if v, isInt := args[i].(int64); isInt {
+			env[sym.Name] = v
+		}
+	}
+
+	// Second pass: arrays, with bounds evaluated against the scalars.
+	for i, sym := range sm.Params {
+		arrT, isArr := sym.Type.(*types.Array)
+		if !isArr {
+			continue
+		}
+		axes := make([]value.Axis, len(arrT.Dims))
+		for d, sr := range arrT.Dims {
+			lo, err := evalBound(sr.Lo, env)
+			if err != nil {
+				return nil, fmt.Errorf("ps: bounds of %s: %w", sym.Name, err)
+			}
+			hi, err := evalBound(sr.Hi, env)
+			if err != nil {
+				return nil, fmt.Errorf("ps: bounds of %s: %w", sym.Name, err)
+			}
+			axes[d] = value.Axis{Lo: lo, Hi: hi}
+		}
+		arr, err := arrayFromJSON(inputs[sym.Name], arrT.Elem, axes)
+		if err != nil {
+			return nil, fmt.Errorf("ps: input %s: %w", sym.Name, err)
+		}
+		args[i] = arr
+	}
+	return args, nil
+}
+
+// ResultsToJSON converts module results into JSON-encodable values keyed
+// by result name.
+func ResultsToJSON(p *Program, module string, results []any) (map[string]any, error) {
+	m := p.Module(module)
+	if m == nil {
+		return nil, fmt.Errorf("ps: no module %s", module)
+	}
+	out := make(map[string]any, len(results))
+	for i, sym := range m.sem.Results {
+		if arr, isArr := results[i].(*value.Array); isArr {
+			out[sym.Name] = arrayToJSON(arr, make([]int64, 0, arr.Rank()))
+		} else {
+			out[sym.Name] = results[i]
+		}
+	}
+	return out, nil
+}
+
+func scalarFromJSON(raw json.RawMessage, t types.Type) (any, error) {
+	switch t.Kind() {
+	case types.RealKind:
+		var v float64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case types.IntKind, types.SubrangeKind:
+		var v int64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case types.BoolKind:
+		var v bool
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case types.StringKind:
+		var v string
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+	return nil, fmt.Errorf("unsupported parameter type %s", t)
+}
+
+func arrayFromJSON(raw json.RawMessage, elem types.Type, axes []value.Axis) (*value.Array, error) {
+	if raw == nil {
+		return nil, fmt.Errorf("missing array input")
+	}
+	var nested any
+	if err := json.Unmarshal(raw, &nested); err != nil {
+		return nil, err
+	}
+	arr := value.NewArray(elem.Kind(), axes)
+	idx := make([]int64, len(axes))
+	var fill func(v any, d int) error
+	fill = func(v any, d int) error {
+		list, ok := v.([]any)
+		if !ok {
+			return fmt.Errorf("expected a list at depth %d", d)
+		}
+		n := axes[d].Extent()
+		if int64(len(list)) != n {
+			return fmt.Errorf("dimension %d has %d elements, want %d", d+1, len(list), n)
+		}
+		for k, item := range list {
+			idx[d] = axes[d].Lo + int64(k)
+			if d == len(axes)-1 {
+				num, ok := item.(float64)
+				if !ok {
+					if b, isB := item.(bool); isB && elem.Kind() == types.BoolKind {
+						arr.Set(idx, b)
+						continue
+					}
+					return fmt.Errorf("element %v is not a number", idx)
+				}
+				switch elem.Kind() {
+				case types.RealKind:
+					arr.Set(idx, num)
+				default:
+					arr.Set(idx, int64(num))
+				}
+			} else if err := fill(item, d+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := fill(nested, 0); err != nil {
+		return nil, err
+	}
+	return arr, nil
+}
+
+func arrayToJSON(a *value.Array, prefix []int64) any {
+	d := len(prefix)
+	ax := a.Axes[d]
+	out := make([]any, 0, ax.Extent())
+	for x := ax.Lo; x <= ax.Hi; x++ {
+		idx := append(prefix, x)
+		if d == a.Rank()-1 {
+			out = append(out, a.Get(idx))
+		} else {
+			out = append(out, arrayToJSON(a, idx))
+		}
+	}
+	return out
+}
+
+// evalBound evaluates a subrange bound expression over scalar parameter
+// values.
+func evalBound(e ast.Expr, env map[string]int64) (int64, error) {
+	if v, ok := sem.EvalConstInt(e); ok {
+		return v, nil
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := env[x.Name]; ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("bound references %s, which is not a scalar input", x.Name)
+	case *ast.Unary:
+		v, err := evalBound(x.X, env)
+		if err != nil {
+			return 0, err
+		}
+		if x.Op == token.MINUS {
+			return -v, nil
+		}
+		return v, nil
+	case *ast.Binary:
+		l, err := evalBound(x.X, env)
+		if err != nil {
+			return 0, err
+		}
+		r, err := evalBound(x.Y, env)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case token.PLUS:
+			return l + r, nil
+		case token.MINUS:
+			return l - r, nil
+		case token.STAR:
+			return l * r, nil
+		case token.DIV:
+			if r == 0 {
+				return 0, fmt.Errorf("division by zero in bound")
+			}
+			return l / r, nil
+		case token.MOD:
+			if r == 0 {
+				return 0, fmt.Errorf("division by zero in bound")
+			}
+			return l % r, nil
+		}
+	}
+	return 0, fmt.Errorf("cannot evaluate bound %s", ast.ExprString(e))
+}

@@ -1,0 +1,291 @@
+// Package ps is the public API of the PS dataflow compiler reproduction
+// (Gokhale, "Exploiting Loop Level Parallelism in Nonprocedural Dataflow
+// Programs", ICPP 1987). It wires the full pipeline together:
+//
+//	source → parse → check → dependency graph → schedule (DO/DOALL
+//	flowchart + virtual dimensions) → {execute in parallel | generate C |
+//	hyperplane-transform}
+//
+// Quick start:
+//
+//	prog, err := ps.CompileProgram("relax.ps", source)
+//	m := prog.Module("Relaxation")
+//	fmt.Println(m.Flowchart())           // Figure 6-style schedule
+//	out, err := prog.Run("Relaxation",
+//	    []any{grid, 256, 64}, ps.Workers(8))
+//
+// The hyperplane restructuring of §4 is exposed as a source-to-source
+// transformation:
+//
+//	hp, err := m.Hyperplane("eq.3")      // analysis: π, T, T⁻¹, window
+//	prog2, err := ps.CompileProgram("t.ps", hp.TransformedSource)
+package ps
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/cgen"
+	"repro/internal/core"
+	"repro/internal/depgraph"
+	"repro/internal/hyperplane"
+	"repro/internal/interp"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// Array is a runtime PS array value (see NewRealArray and friends).
+type Array = value.Array
+
+// Axis describes one array dimension: inclusive bounds and an optional
+// window size for virtual allocation.
+type Axis = value.Axis
+
+// Program is a compiled PS compilation unit, ready to inspect and run.
+type Program struct {
+	checked *sem.Program
+	ip      *interp.Program
+	mods    map[string]*Module
+}
+
+// Module exposes one module's analyses.
+type Module struct {
+	prog  *Program
+	sem   *sem.Module
+	graph *depgraph.Graph
+	sched *core.Schedule
+}
+
+// CompileProgram parses, checks and schedules every module of a PS source
+// text. The name is used in diagnostics only.
+func CompileProgram(name, source string) (*Program, error) {
+	parsed, err := parser.ParseProgram(name, source)
+	if err != nil {
+		return nil, err
+	}
+	checked, err := sem.CheckNamed(name, parsed)
+	if err != nil {
+		return nil, err
+	}
+	ip, err := interp.Compile(checked)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{checked: checked, ip: ip, mods: make(map[string]*Module)}
+	for _, m := range checked.Modules {
+		p.mods[m.Name] = &Module{
+			prog:  p,
+			sem:   m,
+			graph: ip.Scheds[m].Graph,
+			sched: ip.Scheds[m],
+		}
+	}
+	return p, nil
+}
+
+// Module returns a compiled module by name, or nil.
+func (p *Program) Module(name string) *Module {
+	if m := p.mods[name]; m != nil {
+		return m
+	}
+	// Case-insensitive fallback, PS names being Pascal-like.
+	sm := p.checked.Module(name)
+	if sm == nil {
+		return nil
+	}
+	return p.mods[sm.Name]
+}
+
+// Modules lists the program's module names in declaration order.
+func (p *Program) Modules() []string {
+	out := make([]string, len(p.checked.Modules))
+	for i, m := range p.checked.Modules {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// RunOption configures execution.
+type RunOption func(*interp.Options)
+
+// Workers sets the DOALL worker count (default: all CPUs).
+func Workers(n int) RunOption { return func(o *interp.Options) { o.Workers = n } }
+
+// Sequential forces serial execution of every loop, DOALLs included.
+func Sequential() RunOption { return func(o *interp.Options) { o.Sequential = true } }
+
+// Strict enables single-assignment and undefined-read checking.
+func Strict() RunOption { return func(o *interp.Options) { o.Strict = true } }
+
+// NoVirtual disables §3.4 window allocation (every dimension physical).
+func NoVirtual() RunOption { return func(o *interp.Options) { o.NoVirtual = true } }
+
+// Grain sets the minimum iterations per parallel chunk.
+func Grain(n int64) RunOption { return func(o *interp.Options) { o.Grain = n } }
+
+// Fused executes the loop-fused schedule variant (§5 extension).
+func Fused() RunOption { return func(o *interp.Options) { o.Fuse = true } }
+
+// Run executes the named module. Scalar arguments are Go ints, float64s,
+// bools or strings; array arguments are *ps.Array. One value is returned
+// per declared module result.
+func (p *Program) Run(module string, args []any, opts ...RunOption) ([]any, error) {
+	var o interp.Options
+	for _, f := range opts {
+		f(&o)
+	}
+	return p.ip.Run(module, args, o)
+}
+
+// Name returns the module's declared name.
+func (m *Module) Name() string { return m.sem.Name }
+
+// Source returns the module pretty-printed as PS text.
+func (m *Module) Source() string { return ast.ModuleString(m.sem.AST) }
+
+// Flowchart returns the schedule in the paper's indented Figure 6 form.
+func (m *Module) Flowchart() string { return m.sched.Flowchart.String() }
+
+// FlowchartCompact returns the schedule on one line, e.g.
+// "DO K (DOALL I (DOALL J (eq.3)))".
+func (m *Module) FlowchartCompact() string { return m.sched.Flowchart.Compact() }
+
+// FlowchartFused returns the loop-fused schedule variant (§5 extension):
+// loops over the same subrange merged when dependences permit.
+func (m *Module) FlowchartFused() string { return core.Fuse(m.sched.Flowchart).Compact() }
+
+// GraphListing returns the dependency graph as text (Figure 3).
+func (m *Module) GraphListing() string { return m.graph.Listing() }
+
+// GraphDOT returns the dependency graph in Graphviz format.
+func (m *Module) GraphDOT() string { return m.graph.DOT() }
+
+// Components describes the MSCC decomposition and per-component
+// flowcharts (Figure 5): one entry per component, "{nodes} => flowchart".
+func (m *Module) Components() []string {
+	out := make([]string, len(m.sched.Components))
+	for i, c := range m.sched.Components {
+		fc := c.Flowchart.Compact()
+		if fc == "" {
+			fc = "null"
+		}
+		out[i] = fmt.Sprintf("{%s} => %s", c.NodeNames(), fc)
+	}
+	return out
+}
+
+// VirtualDim reports one window-allocatable array dimension (§3.4).
+type VirtualDim struct {
+	Array    string
+	Dim      int // 1-based dimension index
+	Window   int
+	Subrange string
+}
+
+// VirtualDims lists the virtual dimensions the scheduler found.
+func (m *Module) VirtualDims() []VirtualDim {
+	out := make([]VirtualDim, len(m.sched.Virtual))
+	for i, v := range m.sched.Virtual {
+		out[i] = VirtualDim{
+			Array:    v.Sym.Name,
+			Dim:      v.Dim + 1,
+			Window:   v.Window,
+			Subrange: v.Subrange.Name,
+		}
+	}
+	return out
+}
+
+// CGenOptions configure C code generation.
+type CGenOptions = cgen.Options
+
+// GenerateC emits the module as a C translation unit with annotated
+// DO/DOALL loops, the paper's output artifact.
+func (m *Module) GenerateC(opts CGenOptions) (string, error) {
+	return cgen.Generate(m.sem, m.sched, opts)
+}
+
+// Hyperplane is the result of the §4 analysis and transformation of one
+// recurrence equation.
+type Hyperplane struct {
+	// TimeVector is the least integer π with π·d ≥ 1 for every
+	// dependence d (the paper's a=2, b=c=1).
+	TimeVector []int64
+	// TimeEquation renders π as t(A[K,I,J]) = 2K + I + J.
+	TimeEquation string
+	// Inequalities are the strict dependence inequalities in coefficient
+	// form ("a > 0", "a > c", ...).
+	Inequalities []string
+	// Dependences and TransformedDeps are the offset vectors before and
+	// after the coordinate change.
+	Dependences     []string
+	TransformedDeps []string
+	// T and TInv render the unimodular transformation and its inverse.
+	T, TInv string
+	// Window is the §3.4 window of the transformed array's first
+	// dimension (3 for the paper's example).
+	Window int
+	// TransformedSource is the rewritten module as PS source; compile it
+	// with CompileProgram to schedule and run the wavefront version. Its
+	// module name is the original name with an "H" suffix.
+	TransformedSource string
+	// TransformedModule is the rewritten module's name.
+	TransformedModule string
+}
+
+// Hyperplane runs the §4 restructuring on the named recurrence equation
+// (e.g. "eq.3").
+func (m *Module) Hyperplane(eqLabel string) (*Hyperplane, error) {
+	var eq *sem.Equation
+	for _, e := range m.sem.Eqs {
+		if e.Label == eqLabel {
+			eq = e
+			break
+		}
+	}
+	if eq == nil {
+		return nil, fmt.Errorf("ps: module %s has no equation %s", m.sem.Name, eqLabel)
+	}
+	an, err := hyperplane.Analyze(m.sem, eq)
+	if err != nil {
+		return nil, err
+	}
+	res, err := hyperplane.Transform(an)
+	if err != nil {
+		return nil, err
+	}
+	h := &Hyperplane{
+		TimeVector:        an.Pi,
+		TimeEquation:      an.TimeEquation(),
+		Inequalities:      an.Inequalities(),
+		T:                 an.T.String(),
+		TInv:              an.TInv.String(),
+		Window:            an.Window,
+		TransformedSource: res.Source,
+		TransformedModule: res.Module.Name.Name,
+	}
+	for _, d := range an.Deps {
+		h.Dependences = append(h.Dependences, d.String())
+	}
+	for _, d := range an.TransformedDeps {
+		h.TransformedDeps = append(h.TransformedDeps, d.String())
+	}
+	return h, nil
+}
+
+// NewRealArray allocates a real-valued array with the given axes.
+func NewRealArray(axes ...Axis) *Array {
+	return value.NewArray(types.RealKind, axes)
+}
+
+// NewIntArray allocates an integer-valued array with the given axes.
+func NewIntArray(axes ...Axis) *Array {
+	return value.NewArray(types.IntKind, axes)
+}
+
+// NewBoolArray allocates a boolean array with the given axes.
+func NewBoolArray(axes ...Axis) *Array {
+	return value.NewArray(types.BoolKind, axes)
+}
