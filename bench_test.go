@@ -14,9 +14,13 @@
 //     (run with -benchmem: the B/op column is the paper's storage claim).
 //   - BenchmarkNative_*: the same algorithms hand-written in Go, isolating
 //     the algorithmic shape from interpreter overhead.
+//   - BenchmarkEngine_Activation: the service path — a prepared Runner on
+//     an Engine's shared pool vs the one-shot Program.Run that builds and
+//     tears down a pool per activation.
 package repro
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -176,6 +180,45 @@ func BenchmarkWindow(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := prog.Run("Relaxation", []any{in, int64(m), int64(maxK)}, ps.Workers(1), ps.NoVirtual()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngine_Activation compares the redesigned service path — one
+// Engine whose pool is shared by every activation of a prepared Runner —
+// against the legacy one-shot path that spawns and closes a worker pool
+// per Run. The gap is pure activation overhead, the cost that dominates
+// when many small requests hit the runtime.
+func BenchmarkEngine_Activation(b *testing.B) {
+	const m, maxK = 48, 4
+	workers := runtime.NumCPU()
+	in := benchGrid(m)
+	args := []any{in, int64(m), int64(maxK)}
+
+	eng := ps.NewEngine(ps.EngineWorkers(workers))
+	defer eng.Close()
+	prog, err := eng.Compile("bench.ps", psrc.Relaxation)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run, err := prog.Prepare("Relaxation")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.Run("PreparedRunnerSharedPool", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := run.Run(ctx, args); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("OneShotPoolPerRun", func(b *testing.B) {
+		legacy := mustCompile(b, psrc.Relaxation)
+		for i := 0; i < b.N; i++ {
+			if _, err := legacy.Run("Relaxation", args, ps.Workers(workers)); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -39,7 +39,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	prog, err := ps.CompileProgram(flag.Arg(0), string(src))
+	// The engine compile path yields typed *ps.Error diagnostics with
+	// phase and source position; psc never executes, so its pool idles.
+	eng := ps.NewEngine(ps.EngineWorkers(1))
+	defer eng.Close()
+	prog, err := eng.Compile(flag.Arg(0), string(src))
 	if err != nil {
 		fatal(err)
 	}

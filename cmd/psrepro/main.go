@@ -27,11 +27,13 @@ func main() {
 	only := flag.String("only", "", "artifact to print (default: all)")
 	flag.Parse()
 
-	jac, err := ps.CompileProgram("relaxation.ps", psrc.Relaxation)
+	eng := ps.NewEngine()
+	defer eng.Close()
+	jac, err := eng.Compile("relaxation.ps", psrc.Relaxation)
 	if err != nil {
 		log.Fatal(err)
 	}
-	gs, err := ps.CompileProgram("gs.ps", psrc.RelaxationGS)
+	gs, err := eng.Compile("gs.ps", psrc.RelaxationGS)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -100,7 +102,7 @@ func main() {
 		fmt.Println("\ntransformed module:")
 		fmt.Print(hp.TransformedSource)
 
-		prog2, err := ps.CompileProgram("gsh.ps", hp.TransformedSource)
+		prog2, err := eng.Compile("gsh.ps", hp.TransformedSource)
 		if err != nil {
 			log.Fatal(err)
 		}

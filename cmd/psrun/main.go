@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	psrun [-module name] [-workers N] [-seq] [-strict] [-in inputs.json] file.ps
+//	psrun [-module name] [-workers N] [-seq] [-strict] [-grain N]
+//	      [-fused] [-timeout d] [-stats] [-in inputs.json] file.ps
 //
 // The input file maps parameter names to values: scalars as JSON numbers
 // or booleans, arrays as (nested) JSON lists. Array parameter bounds are
@@ -11,9 +12,14 @@
 // consistent with the array data, e.g. for the relaxation module:
 //
 //	{"InitialA": [[0,0,0,0],[0,1,2,0],[0,3,4,0],[0,0,0,0]], "M": 2, "maxK": 8}
+//
+// -timeout bounds the run with a context deadline; -stats prints the
+// run's counters (equation instances, DOALL chunks, workers, wall time)
+// to standard error.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,6 +33,10 @@ func main() {
 	workers := flag.Int("workers", 0, "DOALL workers (0 = all CPUs)")
 	seq := flag.Bool("seq", false, "force sequential execution")
 	strict := flag.Bool("strict", false, "enable single-assignment checking")
+	grain := flag.Int64("grain", 0, "minimum iterations per parallel chunk")
+	fused := flag.Bool("fused", false, "execute the loop-fused schedule variant (§5)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+	stats := flag.Bool("stats", false, "print run statistics to stderr")
 	inFile := flag.String("in", "", "JSON file with parameter values (default: {} )")
 	flag.Parse()
 
@@ -39,7 +49,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	prog, err := ps.CompileProgram(flag.Arg(0), string(src))
+
+	eng := ps.NewEngine(ps.EngineWorkers(*workers))
+	defer eng.Close()
+	prog, err := eng.Compile(flag.Arg(0), string(src))
 	if err != nil {
 		fatal(err)
 	}
@@ -48,8 +61,22 @@ func main() {
 	if name == "" {
 		name = names[len(names)-1]
 	}
-	m := prog.Module(name)
-	if m == nil {
+
+	opts := []ps.RunOption{ps.Workers(*workers)}
+	if *seq {
+		opts = append(opts, ps.Sequential())
+	}
+	if *strict {
+		opts = append(opts, ps.Strict())
+	}
+	if *grain > 0 {
+		opts = append(opts, ps.Grain(*grain))
+	}
+	if *fused {
+		opts = append(opts, ps.Fused())
+	}
+	run, err := prog.Prepare(name, opts...)
+	if err != nil {
 		fatal(fmt.Errorf("psrun: no module %s (have %v)", name, names))
 	}
 
@@ -63,20 +90,21 @@ func main() {
 			fatal(fmt.Errorf("psrun: parsing %s: %w", *inFile, err))
 		}
 	}
-
 	args, err := ps.ArgsFromJSON(prog, name, inputs)
 	if err != nil {
 		fatal(err)
 	}
 
-	opts := []ps.RunOption{ps.Workers(*workers)}
-	if *seq {
-		opts = append(opts, ps.Sequential())
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-	if *strict {
-		opts = append(opts, ps.Strict())
+	results, runStats, err := run.Run(ctx, args)
+	if *stats && runStats != nil {
+		fmt.Fprintf(os.Stderr, "psrun: %s\n", runStats)
 	}
-	results, err := prog.Run(name, args, opts...)
 	if err != nil {
 		fatal(err)
 	}

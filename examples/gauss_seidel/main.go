@@ -4,12 +4,14 @@
 // vector (a=2, b=c=1), builds the unimodular coordinate change
 // K'=2K+I+J, I'=K, J'=I, rewrites the module, reschedules it to the
 // Figure 6 shape, and runs both versions to show the recovered
-// parallelism and identical results.
+// parallelism and identical results. Both versions run under a context
+// deadline through prepared Runners on one shared engine.
 //
-//	go run ./examples/gauss_seidel [-m 256] [-k 16] [-workers 0]
+//	go run ./examples/gauss_seidel [-m 256] [-k 16] [-workers 0] [-timeout 1m]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,9 +26,12 @@ func main() {
 	m := flag.Int64("m", 256, "grid size M (interior M×M)")
 	k := flag.Int64("k", 16, "iterations maxK")
 	workers := flag.Int("workers", 0, "DOALL workers (0 = all CPUs)")
+	timeout := flag.Duration("timeout", time.Minute, "overall deadline covering both executions")
 	flag.Parse()
 
-	prog, err := ps.CompileProgram("gs.ps", psrc.RelaxationGS)
+	eng := ps.NewEngine(ps.EngineWorkers(*workers))
+	defer eng.Close()
+	prog, err := eng.Compile("gs.ps", psrc.RelaxationGS)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +58,7 @@ func main() {
 	fmt.Println("\n== transformed module ==")
 	fmt.Print(hp.TransformedSource)
 
-	prog2, err := ps.CompileProgram("gsh.ps", hp.TransformedSource)
+	prog2, err := eng.Compile("gsh.ps", hp.TransformedSource)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,28 +66,36 @@ func main() {
 	fmt.Println("\n== schedule after transformation (identical shape to Figure 6) ==")
 	fmt.Print(mod2.Flowchart())
 
-	// Execute both versions.
+	// Execute both versions under one deadline.
 	in := ps.NewRealArray(ps.Axis{Lo: 0, Hi: *m + 1}, ps.Axis{Lo: 0, Hi: *m + 1})
 	for i := int64(1); i <= *m; i++ {
 		for j := int64(1); j <= *m; j++ {
 			in.SetF([]int64{i, j}, float64((i*31+j*17)%19)/19.0)
 		}
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
 
 	fmt.Printf("\n== execution (M=%d, maxK=%d, NumCPU=%d) ==\n", *m, *k, runtime.NumCPU())
-	start := time.Now()
-	seqOut, err := prog.Run("Relaxation", []any{in, *m, *k}, ps.Sequential())
+	seqRun, err := prog.Prepare("Relaxation", ps.Sequential())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  %-36s %10v\n", "original (sequential, Figure 7):", time.Since(start).Round(time.Microsecond))
+	seqOut, seqStats, err := seqRun.Run(ctx, []any{in, *m, *k})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-36s %10v   (%s)\n", "original (sequential, Figure 7):", seqStats.WallTime, seqStats)
 
-	start = time.Now()
-	parOut, err := prog2.Run(hp.TransformedModule, []any{in, *m, *k}, ps.Workers(*workers))
+	parRun, err := prog2.Prepare(hp.TransformedModule)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  %-36s %10v\n", "transformed (parallel wavefront):", time.Since(start).Round(time.Microsecond))
+	parOut, parStats, err := parRun.Run(ctx, []any{in, *m, *k})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-36s %10v   (%s)\n", "transformed (parallel wavefront):", parStats.WallTime, parStats)
 
 	a, b := seqOut[0].(*ps.Array), parOut[0].(*ps.Array)
 	if !a.Equal(b) {

@@ -1,13 +1,16 @@
 // Pipeline demonstrates multi-module PS programs: a driver module invokes
 // the Smooth module twice (module calls are an extension beyond the
 // paper's single-module examples, following its description of modules as
-// functional units). It also shows strict mode, which enforces the
-// single-assignment discipline at run time.
+// functional units). It also shows strict mode as an engine-level
+// default, and named arguments through Runner.RunNamed — nested module
+// activations share the engine's worker pool and accumulate into the
+// same RunStats.
 //
 //	go run ./examples/pipeline
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,7 +19,11 @@ import (
 )
 
 func main() {
-	prog, err := ps.CompileProgram("pipeline.ps", psrc.Pipeline)
+	// Strict mode (single-assignment verification) is applied to every
+	// Runner prepared from this engine's programs.
+	eng := ps.NewEngine(ps.EngineWorkers(4), ps.EngineDefaults(ps.Strict()))
+	defer eng.Close()
+	prog, err := eng.Compile("pipeline.ps", psrc.Pipeline)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,8 +48,12 @@ func main() {
 		xs.SetF([]int64{i}, v)
 	}
 
-	// Strict mode verifies single assignment while executing.
-	out, err := prog.Run("Pipeline", []any{xs, n}, ps.Workers(4), ps.Strict())
+	run, err := prog.Prepare("Pipeline")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, stats, err := run.RunNamed(context.Background(),
+		map[string]any{"Xs": xs, "N": n})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,4 +64,6 @@ func main() {
 		fmt.Printf("  x[%2d] = %6.2f   z[%2d] = %6.3f\n",
 			i, xs.GetF([]int64{i}), i, zs.GetF([]int64{i}))
 	}
+	// The two nested Smooth activations count into the same stats.
+	fmt.Printf("\n== stats (driver + 2 nested Smooth calls) ==\n%s\n", stats)
 }

@@ -1,10 +1,12 @@
-// Quickstart: compile a tiny PS module, inspect the schedule the
-// compiler derives, and run it in parallel.
+// Quickstart: start an Engine, compile a tiny PS module, inspect the
+// schedule the compiler derives, and run it in parallel through a
+// prepared Runner with per-run statistics.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +27,12 @@ end Smooth;
 `
 
 func main() {
-	prog, err := ps.CompileProgram("smooth.ps", source)
+	// One Engine serves every activation: its worker pool is shared
+	// across runs and compiled programs are cached by source hash.
+	eng := ps.NewEngine(ps.EngineWorkers(4))
+	defer eng.Close()
+
+	prog, err := eng.Compile("smooth.ps", source)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,7 +48,14 @@ func main() {
 		xs.SetF([]int64{i}, float64(i*i))
 	}
 
-	out, err := prog.Run("Smooth", []any{xs, n}, ps.Workers(4))
+	// Prepare once, run many times (and from many goroutines, if
+	// needed): the Runner carries the resolved module and options.
+	run, err := prog.Prepare("Smooth")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, stats, err := run.RunNamed(context.Background(),
+		map[string]any{"Xs": xs, "N": n})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,4 +65,5 @@ func main() {
 	for i := int64(0); i <= n+1; i++ {
 		fmt.Printf("Ys[%2d] = %8.3f\n", i, ys.GetF([]int64{i}))
 	}
+	fmt.Printf("== stats ==\n%s\n", stats)
 }

@@ -2,17 +2,18 @@
 // and §3.4): the Jacobi-style relaxation module is compiled, its
 // dependency graph and component decomposition printed, the Figure 6
 // schedule derived, the §3.4 window-2 virtual dimension reported, and the
-// module executed both sequentially and in parallel with timings.
+// module executed both sequentially and in parallel with timings and
+// per-run statistics from the prepared-Runner API.
 //
 //	go run ./examples/relaxation [-m 256] [-k 32] [-workers 0] [-c]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"runtime"
-	"time"
 
 	"repro/internal/psrc"
 	"repro/ps"
@@ -25,7 +26,9 @@ func main() {
 	emitC := flag.Bool("c", false, "print the generated C instead of running")
 	flag.Parse()
 
-	prog, err := ps.CompileProgram("relaxation.ps", psrc.Relaxation)
+	eng := ps.NewEngine(ps.EngineWorkers(*workers))
+	defer eng.Close()
+	prog, err := eng.Compile("relaxation.ps", psrc.Relaxation)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,19 +72,24 @@ func main() {
 		}
 	}
 
+	ctx := context.Background()
+	args := []any{in, *m, *k}
 	run := func(label string, opts ...ps.RunOption) *ps.Array {
-		start := time.Now()
-		out, err := prog.Run("Relaxation", []any{in, *m, *k}, opts...)
+		r, err := prog.Prepare("Relaxation", opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %-28s %10v\n", label, time.Since(start).Round(time.Microsecond))
+		out, stats, err := r.Run(ctx, args)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-28s %10v   (%s)\n", label, stats.WallTime, stats)
 		return out[0].(*ps.Array)
 	}
 
 	fmt.Printf("\n== execution (M=%d, maxK=%d, NumCPU=%d) ==\n", *m, *k, runtime.NumCPU())
 	seq := run("sequential (DO everything):", ps.Sequential())
-	par := run(fmt.Sprintf("parallel DOALL (%d workers):", effWorkers(*workers)), ps.Workers(*workers))
+	par := run("parallel DOALL:", ps.Workers(*workers))
 	phys := run("parallel, no window (§3.4 off):", ps.Workers(*workers), ps.NoVirtual())
 
 	if !seq.Equal(par) || !seq.Equal(phys) {
@@ -91,11 +99,4 @@ func main() {
 
 	center := []int64{(*m + 1) / 2, (*m + 1) / 2}
 	fmt.Printf("  newA[center] = %.6f\n", seq.GetF(center))
-}
-
-func effWorkers(w int) int {
-	if w <= 0 {
-		return runtime.NumCPU()
-	}
-	return w
 }

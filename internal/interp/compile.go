@@ -232,9 +232,9 @@ func (c *compiler) compileCallEquation(eq *sem.Equation) *compiledEq {
 		for i, f := range args {
 			argv[i] = f(en, fr)
 		}
-		results, err := c.p.runModule(sub, argv, en.opts)
+		results, err := c.p.runModule(en.rs, sub, argv, en.inParallel)
 		if err != nil {
-			panic(runtimeError{fmt.Errorf("call %s: %w", sub.m.Name, err)})
+			panic(runtimeError{err: fmt.Errorf("call %s: %w", sub.m.Name, err)})
 		}
 		for i, slot := range slots {
 			if isArray[i] {
@@ -486,7 +486,7 @@ func (c *compiler) compileBinaryI(x *ast.Binary) evalI {
 		return func(en *env, fr []int64) int64 {
 			d := r(en, fr)
 			if d == 0 {
-				panic(runtimeError{fmt.Errorf("division by zero")})
+				panic(runtimeError{err: fmt.Errorf("division by zero")})
 			}
 			return l(en, fr) / d
 		}
@@ -494,7 +494,7 @@ func (c *compiler) compileBinaryI(x *ast.Binary) evalI {
 		return func(en *env, fr []int64) int64 {
 			d := r(en, fr)
 			if d == 0 {
-				panic(runtimeError{fmt.Errorf("division by zero")})
+				panic(runtimeError{err: fmt.Errorf("division by zero")})
 			}
 			return l(en, fr) % d
 		}
@@ -780,7 +780,7 @@ func arrOffset(a *value.Array, idx []int64) int64 {
 	for d, x := range idx {
 		ax := a.Axes[d]
 		if x < ax.Lo || x > ax.Hi {
-			panic(runtimeError{fmt.Errorf("subscript %d out of range %d..%d in dimension %d", x, ax.Lo, ax.Hi, d+1)})
+			panic(runtimeError{err: fmt.Errorf("subscript %d out of range %d..%d in dimension %d", x, ax.Lo, ax.Hi, d+1)})
 		}
 		p := x - ax.Lo
 		if ph := a.PhysDims[d]; p >= ph {
@@ -911,9 +911,9 @@ func (c *compiler) compileModuleCall(x *ast.Call) evalA {
 		for i, f := range args {
 			argv[i] = f(en, fr)
 		}
-		results, err := p.runModule(sub, argv, en.opts)
+		results, err := p.runModule(en.rs, sub, argv, en.inParallel)
 		if err != nil {
-			panic(runtimeError{fmt.Errorf("call %s: %w", sub.m.Name, err)})
+			panic(runtimeError{err: fmt.Errorf("call %s: %w", sub.m.Name, err)})
 		}
 		return results[0]
 	}

@@ -1,7 +1,10 @@
 package interp
 
 import (
+	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/depgraph"
@@ -28,9 +31,50 @@ type Options struct {
 	// Fuse executes the loop-fusion variant of the schedule (the §5
 	// "merge iterative loops" extension).
 	Fuse bool
+	// Pool, when non-nil, is a shared worker pool used for every DOALL of
+	// the activation tree instead of spawning a pool per activation. The
+	// run does not close it, and its worker count takes precedence over
+	// Workers.
+	Pool *par.Pool
+	// Stats, when non-nil, accumulates execution counters for the run.
+	Stats *Stats
 }
 
-// Program is a compiled, runnable PS program.
+// Stats accumulates per-run execution counters. The counters are updated
+// atomically, so one Stats value may observe a run whose DOALLs execute
+// on many workers; nested module calls accumulate into the same Stats.
+type Stats struct {
+	// EqInstances counts equation instances executed (one per evaluation
+	// of one equation at one index point).
+	EqInstances atomic.Int64
+	// Chunks counts DOALL chunks dispatched to pool workers.
+	Chunks atomic.Int64
+}
+
+// RunError describes a failure while executing a module: which module,
+// which equation was in execution (when known), and the underlying
+// cause. The cause is preserved for errors.Is/As — a cancelled run wraps
+// context.Canceled or context.DeadlineExceeded.
+type RunError struct {
+	Module   string
+	Equation string
+	Err      error
+}
+
+// Error implements the error interface.
+func (e *RunError) Error() string {
+	if e.Equation != "" {
+		return fmt.Sprintf("interp: module %s: %s: %v", e.Module, e.Equation, e.Err)
+	}
+	return fmt.Sprintf("interp: module %s: %v", e.Module, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// Program is a compiled, runnable PS program. It is immutable after
+// Compile and safe for concurrent Run/RunCtx calls from many goroutines:
+// every activation builds its own environment.
 type Program struct {
 	Prog   *sem.Program
 	Scheds map[*sem.Module]*core.Schedule
@@ -38,8 +82,13 @@ type Program struct {
 }
 
 // runtimeError wraps execution failures carried by panic across the
-// evaluator (subscript errors, division by zero, strict violations).
-type runtimeError struct{ err error }
+// evaluator (subscript errors, division by zero, strict violations,
+// cancellation). eq is the label of the equation in execution when the
+// failure was raised, filled in at the nearest point where it is known.
+type runtimeError struct {
+	err error
+	eq  string
+}
 
 // Compile prepares every module of a checked program for execution,
 // scheduling each module's dependency graph with the core scheduler.
@@ -80,61 +129,143 @@ func (p *Program) Schedule(name string) *core.Schedule {
 	return p.Scheds[m]
 }
 
+// runState is the execution context shared by a root activation and
+// every nested module call it makes: options, the worker pool, the
+// cancellation signal and the statistics sink.
+type runState struct {
+	opts Options
+	ctx  context.Context
+	// canceled is set once ctx is done; nil when the context cannot be
+	// cancelled. Loops poll this flag (a plain atomic load) instead of
+	// calling ctx.Err() on hot paths.
+	canceled *atomic.Bool
+	stats    *Stats
+	pool     *par.Pool
+}
+
+// cancelled reports whether the run's context has fired.
+func (rs *runState) cancelled() bool { return rs.canceled != nil && rs.canceled.Load() }
+
+// cancelChan returns the channel pool workers watch to stop claiming
+// chunks, or nil when the run is not cancellable.
+func (rs *runState) cancelChan() <-chan struct{} {
+	if rs.canceled == nil {
+		return nil
+	}
+	return rs.ctx.Done()
+}
+
 // env is the runtime state of one module activation.
 type env struct {
 	cm      *compiledModule
 	scalars []any
 	arrays  []*value.Array
-	opts    Options
+	rs      *runState
 	strict  bool
-	pool    *par.Pool
 	// inParallel marks that an enclosing DOALL is already distributing
 	// work, so nested DOALLs run sequentially within each worker.
 	inParallel bool
+	// eqCount counts equation instances executed through this env (or a
+	// per-chunk copy of it); deltas are flushed into rs.stats.
+	eqCount int64
+	// curEq is the label of the equation currently executing, read when a
+	// runtime failure needs attribution.
+	curEq string
 }
 
 // Run executes the named module with the given arguments. Scalar
 // arguments are Go ints/floats/bools; array arguments are *value.Array.
 // It returns one value per declared result.
 func (p *Program) Run(name string, args []any, opts Options) ([]any, error) {
+	return p.RunCtx(context.Background(), name, args, opts)
+}
+
+// RunCtx is Run with a context: cancellation or deadline expiry aborts
+// sequential loops within one iteration and in-flight DOALLs within one
+// chunk, returning a *RunError wrapping ctx.Err().
+func (p *Program) RunCtx(ctx context.Context, name string, args []any, opts Options) ([]any, error) {
 	m := p.Prog.Module(name)
 	if m == nil {
 		return nil, fmt.Errorf("interp: no module %s", name)
 	}
-	return p.runModule(p.mods[m], args, opts)
+	rs := &runState{opts: opts, ctx: ctx, stats: opts.Stats}
+	if ctx == nil {
+		rs.ctx = context.Background()
+	} else if err := ctx.Err(); err != nil {
+		return nil, &RunError{Module: m.Name, Err: err}
+	}
+	if done := rs.ctx.Done(); done != nil {
+		// One watcher goroutine flips the flag the loops poll, keeping
+		// ctx.Err() calls off the per-iteration path.
+		var flag atomic.Bool
+		rs.canceled = &flag
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-done:
+				flag.Store(true)
+			case <-stop:
+			}
+		}()
+	}
+	if !opts.Sequential {
+		if opts.Pool != nil {
+			rs.pool = opts.Pool
+		} else {
+			// No shared pool injected: one persistent pool per activation
+			// tree, so DOALL planes inside an iterative loop reuse parked
+			// workers instead of spawning goroutines per plane.
+			rs.pool = par.NewPool(opts.Workers)
+			defer rs.pool.Close()
+		}
+	}
+	return p.runModule(rs, p.mods[m], args, false)
 }
 
-func (p *Program) runModule(cm *compiledModule, args []any, opts Options) (results []any, err error) {
+func (p *Program) runModule(rs *runState, cm *compiledModule, args []any, inParallel bool) (results []any, err error) {
+	var en *env
 	defer func() {
+		// Flush sequential instance counts whether the run completed,
+		// failed or was cancelled: RunStats promises the counters
+		// accumulated up to the abort.
+		if rs.stats != nil && en != nil && en.eqCount != 0 {
+			rs.stats.EqInstances.Add(en.eqCount)
+			en.eqCount = 0
+		}
 		if r := recover(); r != nil {
+			curEq := ""
+			if en != nil {
+				curEq = en.curEq
+			}
 			switch e := r.(type) {
 			case runtimeError:
-				err = fmt.Errorf("interp: module %s: %w", cm.m.Name, e.err)
+				if e.eq == "" {
+					e.eq = curEq
+				}
+				err = &RunError{Module: cm.m.Name, Equation: e.eq, Err: e.err}
 			case value.Error:
-				err = fmt.Errorf("interp: module %s: %w", cm.m.Name, e)
+				err = &RunError{Module: cm.m.Name, Equation: curEq, Err: e}
 			default:
 				panic(r)
 			}
 		}
 	}()
 	m := cm.m
+	if rs.cancelled() {
+		return nil, &RunError{Module: m.Name, Err: rs.ctx.Err()}
+	}
 	if len(args) != len(m.Params) {
-		return nil, fmt.Errorf("interp: module %s takes %d arguments, got %d", m.Name, len(m.Params), len(args))
+		return nil, &RunError{Module: m.Name, Err: fmt.Errorf("takes %d arguments, got %d", len(m.Params), len(args))}
 	}
-	en := &env{
-		cm:      cm,
-		scalars: make([]any, len(cm.syms)),
-		arrays:  make([]*value.Array, len(cm.syms)),
-		opts:    opts,
-		strict:  opts.Strict,
-	}
-	if !opts.Sequential {
-		// One persistent worker pool per activation: DOALL planes inside
-		// an iterative loop reuse the parked workers instead of spawning
-		// goroutines per plane.
-		en.pool = par.NewPool(opts.Workers)
-		en.pool.SetGrain(opts.Grain)
-		defer en.pool.Close()
+	opts := rs.opts
+	en = &env{
+		cm:         cm,
+		scalars:    make([]any, len(cm.syms)),
+		arrays:     make([]*value.Array, len(cm.syms)),
+		rs:         rs,
+		strict:     opts.Strict,
+		inParallel: inParallel,
 	}
 
 	// Bind parameters.
@@ -142,7 +273,7 @@ func (p *Program) runModule(cm *compiledModule, args []any, opts Options) (resul
 		si := cm.symIdx[sym]
 		v, cerr := coerceArg(args[i], sym.Type)
 		if cerr != nil {
-			return nil, fmt.Errorf("interp: module %s argument %d (%s): %w", m.Name, i+1, sym.Name, cerr)
+			return nil, &RunError{Module: m.Name, Err: fmt.Errorf("argument %d (%s): %w", i+1, sym.Name, cerr)}
 		}
 		if a, isArr := v.(*value.Array); isArr {
 			en.arrays[si] = a
@@ -189,6 +320,9 @@ func (p *Program) runModule(cm *compiledModule, args []any, opts Options) (resul
 		fc = cm.fused
 	}
 	p.execFlowchart(en, fc, fr)
+	if rs.cancelled() {
+		return nil, &RunError{Module: m.Name, Err: rs.ctx.Err()}
+	}
 
 	// Collect results.
 	results = make([]any, len(m.Results))
@@ -251,6 +385,8 @@ func (p *Program) execFlowchart(en *env, fc core.Flowchart, fr []int64) {
 		switch x := d.(type) {
 		case *core.NodeDesc:
 			if x.Node.Kind == depgraph.EquationNode {
+				en.curEq = x.Node.Eq.Label
+				en.eqCount++
 				en.cm.eqs[x.Node.Eq].exec(en, fr)
 			}
 		case *core.LoopDesc:
@@ -263,11 +399,16 @@ func (p *Program) execLoop(en *env, loop *core.LoopDesc, fr []int64) {
 	b := en.cm.dimBounds[loop.Subrange]
 	lo, hi := b[0](en, fr), b[1](en, fr)
 	slot := en.cm.slotOf[loop.Subrange]
+	rs := en.rs
 
-	parallel := loop.Parallel && en.pool != nil && !en.inParallel &&
-		en.pool.Workers() != 1 && hi >= lo
+	parallel := loop.Parallel && rs.pool != nil && !en.inParallel &&
+		rs.pool.Workers() != 1 && hi >= lo
 	if !parallel {
+		canceled := rs.canceled
 		for i := lo; i <= hi; i++ {
+			if canceled != nil && canceled.Load() {
+				panic(runtimeError{err: rs.ctx.Err()})
+			}
 			fr[slot] = i
 			p.execFlowchart(en, loop.Body, fr)
 		}
@@ -305,16 +446,34 @@ func (p *Program) execLoop(en *env, loop *core.LoopDesc, fr []int64) {
 
 	// Each worker uses a private frame and runs any remaining nested
 	// loops sequentially. The linear index decomposes with the innermost
-	// dimension fastest, preserving row-major locality.
+	// dimension fastest, preserving row-major locality. Panics (runtime
+	// failures in workers) are captured once and re-raised on the caller;
+	// the pool stops claiming chunks when the run's context fires.
+	var panicOnce sync.Once
 	var panicked any
-	en.pool.ForRanges(0, total-1, func(start, end int64) {
-		defer func() {
-			if r := recover(); r != nil && panicked == nil {
-				panicked = r
-			}
-		}()
+	base := en.eqCount
+	completed := rs.pool.ForRangesOpts(rs.cancelChan(), 0, total-1, rs.opts.Grain, func(start, end int64) {
 		sub := *en
 		sub.inParallel = true
+		defer func() {
+			if rs.stats != nil {
+				rs.stats.Chunks.Add(1)
+				rs.stats.EqInstances.Add(sub.eqCount - base)
+			}
+			if r := recover(); r != nil {
+				switch e := r.(type) {
+				case runtimeError:
+					if e.eq == "" {
+						e.eq = sub.curEq
+					}
+					panicOnce.Do(func() { panicked = e })
+				case value.Error:
+					panicOnce.Do(func() { panicked = runtimeError{err: e, eq: sub.curEq} })
+				default:
+					panicOnce.Do(func() { panicked = r })
+				}
+			}
+		}()
 		frCopy := make([]int64, len(fr))
 		copy(frCopy, fr)
 		for li := start; li <= end; li++ {
@@ -328,5 +487,8 @@ func (p *Program) execLoop(en *env, loop *core.LoopDesc, fr []int64) {
 	})
 	if panicked != nil {
 		panic(panicked)
+	}
+	if !completed {
+		panic(runtimeError{err: rs.ctx.Err()})
 	}
 }

@@ -26,6 +26,9 @@ type loopJob struct {
 	next   atomic.Int64
 	body   func(start, end int64)
 	done   sync.WaitGroup
+	// cancel, when non-nil, is checked between chunks: once closed, no
+	// further chunks are claimed (the chunk in flight completes).
+	cancel <-chan struct{}
 }
 
 // NewPool starts a pool with the given worker count (<= 0 uses all CPUs).
@@ -96,6 +99,13 @@ func (p *Pool) Close() {
 
 func (j *loopJob) run() {
 	for {
+		if j.cancel != nil {
+			select {
+			case <-j.cancel:
+				return
+			default:
+			}
+		}
 		start := j.next.Add(j.chunk) - j.chunk
 		if start > j.hi {
 			return
@@ -111,19 +121,41 @@ func (j *loopJob) run() {
 // ForRanges executes body over [lo, hi] in chunks distributed across the
 // pool's workers and the calling goroutine.
 func (p *Pool) ForRanges(lo, hi int64, body func(start, end int64)) {
+	p.ForRangesOpts(nil, lo, hi, p.grain, body)
+}
+
+// ForRangesOpts is ForRanges with per-call options, letting concurrent
+// activations share one pool without racing on its configuration: grain
+// is this loop's minimum chunk size (<= 0 uses the pool default), and
+// cancel, when non-nil, stops workers from claiming further chunks once
+// closed. It reports whether the loop ran to completion; false means it
+// was cancelled with iterations unvisited. A Pool is safe for concurrent
+// ForRangesOpts calls from multiple goroutines: each loop is an
+// independent job, and every caller executes chunks of its own loop, so
+// progress never depends on another loop finishing.
+func (p *Pool) ForRangesOpts(cancel <-chan struct{}, lo, hi, grain int64, body func(start, end int64)) bool {
 	n := hi - lo + 1
 	if n <= 0 {
-		return
+		return true
+	}
+	if grain <= 0 {
+		grain = p.grain
 	}
 	if p.workers == 1 || n == 1 {
+		if cancel != nil {
+			job := &loopJob{lo: lo, hi: hi, chunk: grain, body: body, cancel: cancel}
+			job.next.Store(lo)
+			job.run()
+			return job.next.Load() > hi
+		}
 		body(lo, hi)
-		return
+		return true
 	}
 	chunk := n / int64(p.workers*4)
-	if chunk < p.grain {
-		chunk = p.grain
+	if chunk < grain {
+		chunk = grain
 	}
-	job := &loopJob{lo: lo, hi: hi, chunk: chunk, body: body}
+	job := &loopJob{lo: lo, hi: hi, chunk: chunk, body: body, cancel: cancel}
 	job.next.Store(lo)
 	// Wake only as many workers as can possibly get a chunk; the caller
 	// takes one share itself.
@@ -137,6 +169,7 @@ func (p *Pool) ForRanges(lo, hi int64, body func(start, end int64)) {
 	}
 	job.run()
 	job.done.Wait()
+	return job.next.Load() > hi
 }
 
 // For executes body(i) for every i in [lo, hi] on the pool.

@@ -1,0 +1,146 @@
+package ps
+
+import (
+	"crypto/sha256"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/par"
+)
+
+// Engine is a long-lived, concurrency-safe execution service for PS
+// programs: one shared worker pool serves the DOALLs of every
+// activation, compiled programs are cached by source hash, and
+// engine-level default options apply to every Runner prepared from its
+// programs. An Engine is the substrate for serving many concurrent
+// requests; the package-level CompileProgram/Run entry points remain as
+// one-shot conveniences on top of the same pipeline.
+//
+//	eng := ps.NewEngine(ps.EngineWorkers(8))
+//	defer eng.Close()
+//	prog, err := eng.Compile("relax.ps", source)
+//	run, err := prog.Prepare("Relaxation")
+//	out, stats, err := run.Run(ctx, []any{grid, 256, 64})
+type Engine struct {
+	pool     *par.Pool
+	defaults []RunOption
+	closed   atomic.Bool
+
+	mu    sync.Mutex
+	cache map[[sha256.Size]byte]*Program
+	// runnerPools are dedicated pools created for Runners prepared with
+	// a worker count different from the shared pool's; Close shuts them
+	// down with the engine.
+	runnerPools []*par.Pool
+}
+
+// engineConfig collects construction options.
+type engineConfig struct {
+	workers  int
+	defaults []RunOption
+}
+
+// EngineOption configures NewEngine.
+type EngineOption func(*engineConfig)
+
+// EngineWorkers sets the shared pool's worker count (<= 0 uses all
+// CPUs).
+func EngineWorkers(n int) EngineOption {
+	return func(c *engineConfig) { c.workers = n }
+}
+
+// EngineDefaults sets run options applied to every Runner prepared from
+// this engine's programs, before per-Prepare options.
+func EngineDefaults(opts ...RunOption) EngineOption {
+	return func(c *engineConfig) { c.defaults = append(c.defaults, opts...) }
+}
+
+// NewEngine starts an engine. Close it when no more runs are needed;
+// until then its worker pool stays parked between activations.
+func NewEngine(opts ...EngineOption) *Engine {
+	var c engineConfig
+	for _, f := range opts {
+		f(&c)
+	}
+	return &Engine{
+		pool:     par.NewPool(c.workers),
+		defaults: c.defaults,
+		cache:    make(map[[sha256.Size]byte]*Program),
+	}
+}
+
+// Workers returns the shared pool's worker count.
+func (e *Engine) Workers() int { return e.pool.Workers() }
+
+// Compile parses, checks and schedules a PS source text, returning a
+// cached Program when the same (name, source) pair was compiled before.
+// Programs are immutable and safe for concurrent use, so one cached
+// Program may serve many goroutines.
+func (e *Engine) Compile(name, source string) (*Program, error) {
+	if e.closed.Load() {
+		return nil, &Error{Phase: PhaseCheck, File: name, Err: errors.New("engine is closed")}
+	}
+	h := sha256.New()
+	h.Write([]byte(name))
+	h.Write([]byte{0})
+	h.Write([]byte(source))
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+
+	e.mu.Lock()
+	p, ok := e.cache[key]
+	e.mu.Unlock()
+	if ok {
+		return p, nil
+	}
+	// Compile outside the lock so a slow compilation never blocks cache
+	// hits; concurrent misses on the same key race benignly and the
+	// first store wins, preserving pointer identity for all callers.
+	p, err := compileProgram(e, name, source)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if existing, ok := e.cache[key]; ok {
+		return existing, nil
+	}
+	e.cache[key] = p
+	return p, nil
+}
+
+// CachedPrograms returns the number of programs in the compile cache.
+func (e *Engine) CachedPrograms() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache)
+}
+
+// trackPool registers a Runner-owned pool for shutdown with the
+// engine. It returns false when the engine is already closed.
+func (e *Engine) trackPool(p *par.Pool) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed.Load() {
+		return false
+	}
+	e.runnerPools = append(e.runnerPools, p)
+	return true
+}
+
+// Close shuts the shared pool — and every Runner-owned pool — down.
+// All in-flight runs must have completed; subsequent runs on this
+// engine's programs fail with a typed error.
+func (e *Engine) Close() {
+	if e.closed.CompareAndSwap(false, true) {
+		e.pool.Close()
+		e.mu.Lock()
+		pools := e.runnerPools
+		e.runnerPools = nil
+		e.mu.Unlock()
+		for _, p := range pools {
+			p.Close()
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package ps
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/source"
+)
+
+// Phase identifies the pipeline stage a diagnostic originated from.
+type Phase string
+
+// The pipeline phases, in order.
+const (
+	PhaseParse    Phase = "parse"
+	PhaseCheck    Phase = "check"
+	PhaseSchedule Phase = "schedule"
+	PhaseRun      Phase = "run"
+)
+
+// Error is the typed diagnostic returned by every entry point of the
+// package: it records which phase failed, the module and equation
+// involved (when known), and the source position of the first
+// diagnostic (for parse and check failures). The underlying cause is
+// preserved for errors.Is/As — a cancelled run, for example, satisfies
+// errors.Is(err, context.Canceled).
+type Error struct {
+	// Phase is the pipeline stage that failed.
+	Phase Phase
+	// Module is the module being compiled or run, when known.
+	Module string
+	// Equation is the label (e.g. "eq.3") of the equation in execution
+	// or under analysis, when known.
+	Equation string
+	// File, Line and Column locate the first diagnostic in the source
+	// text for parse and check failures; Line is 0 when no position is
+	// available.
+	File   string
+	Line   int
+	Column int
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	var b strings.Builder
+	b.WriteString("ps: ")
+	b.WriteString(string(e.Phase))
+	if e.Line > 0 && !selfPositioned(e.Err) {
+		fmt.Fprintf(&b, " %s:%d:%d", e.File, e.Line, e.Column)
+	}
+	if e.Module != "" {
+		fmt.Fprintf(&b, " module %s", e.Module)
+	}
+	if e.Equation != "" {
+		fmt.Fprintf(&b, " (%s)", e.Equation)
+	}
+	b.WriteString(": ")
+	b.WriteString(e.cause().Error())
+	return b.String()
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// selfPositioned reports whether the cause renders its own
+// file:line:col prefix, so the header should not repeat it.
+func selfPositioned(err error) bool {
+	switch err.(type) {
+	case *source.ErrorList, *source.Diagnostic:
+		return true
+	}
+	return false
+}
+
+// cause strips one interp.RunError layer for display, so the message
+// does not repeat the module and equation already rendered in the
+// header.
+func (e *Error) cause() error {
+	if re, ok := e.Err.(*interp.RunError); ok && re.Module == e.Module && re.Equation == e.Equation {
+		return re.Err
+	}
+	return e.Err
+}
+
+// compileError classifies a front-end failure into a typed Error,
+// lifting the first diagnostic's position and — for scheduling
+// failures — the module name.
+func compileError(phase Phase, file string, err error) *Error {
+	e := &Error{Phase: phase, File: file, Err: err}
+	var el *source.ErrorList
+	var diag *source.Diagnostic
+	var un *core.UnschedulableError
+	switch {
+	case errors.As(err, &el):
+		if ds := el.Diagnostics(); len(ds) > 0 {
+			if ds[0].File != "" {
+				e.File = ds[0].File
+			}
+			e.Line, e.Column = ds[0].Pos.Line, ds[0].Pos.Column
+		}
+	case errors.As(err, &diag):
+		if diag.File != "" {
+			e.File = diag.File
+		}
+		e.Line, e.Column = diag.Pos.Line, diag.Pos.Column
+	case errors.As(err, &un):
+		e.Module = un.Module
+	}
+	return e
+}
+
+// runError wraps an execution failure, lifting module and equation
+// attribution from the interpreter's typed error.
+func runError(module string, err error) *Error {
+	e := &Error{Phase: PhaseRun, Module: module, Err: err}
+	var re *interp.RunError
+	if errors.As(err, &re) {
+		e.Module = re.Module
+		e.Equation = re.Equation
+	}
+	return e
+}

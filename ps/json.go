@@ -18,9 +18,12 @@ import (
 func ArgsFromJSON(p *Program, module string, inputs map[string]json.RawMessage) ([]any, error) {
 	m := p.Module(module)
 	if m == nil {
-		return nil, fmt.Errorf("ps: no module %s", module)
+		return nil, &Error{Phase: PhaseRun, Module: module, Err: fmt.Errorf("no module %q", module)}
 	}
 	sm := m.sem
+	inputErr := func(sym string, err error) *Error {
+		return &Error{Phase: PhaseRun, Module: sm.Name, Err: fmt.Errorf("input %s: %w", sym, err)}
+	}
 
 	// First pass: scalar parameters, needed to evaluate array bounds.
 	env := make(map[string]int64)
@@ -28,7 +31,7 @@ func ArgsFromJSON(p *Program, module string, inputs map[string]json.RawMessage) 
 	for i, sym := range sm.Params {
 		raw, ok := inputs[sym.Name]
 		if !ok {
-			return nil, fmt.Errorf("ps: missing input %s", sym.Name)
+			return nil, &Error{Phase: PhaseRun, Module: sm.Name, Err: fmt.Errorf("missing input %s", sym.Name)}
 		}
 		if types.Rank(sym.Type) > 0 {
 			continue
@@ -36,7 +39,7 @@ func ArgsFromJSON(p *Program, module string, inputs map[string]json.RawMessage) 
 		var err error
 		args[i], err = scalarFromJSON(raw, sym.Type)
 		if err != nil {
-			return nil, fmt.Errorf("ps: input %s: %w", sym.Name, err)
+			return nil, inputErr(sym.Name, err)
 		}
 		if v, isInt := args[i].(int64); isInt {
 			env[sym.Name] = v
@@ -53,17 +56,17 @@ func ArgsFromJSON(p *Program, module string, inputs map[string]json.RawMessage) 
 		for d, sr := range arrT.Dims {
 			lo, err := evalBound(sr.Lo, env)
 			if err != nil {
-				return nil, fmt.Errorf("ps: bounds of %s: %w", sym.Name, err)
+				return nil, inputErr(sym.Name, fmt.Errorf("bounds: %w", err))
 			}
 			hi, err := evalBound(sr.Hi, env)
 			if err != nil {
-				return nil, fmt.Errorf("ps: bounds of %s: %w", sym.Name, err)
+				return nil, inputErr(sym.Name, fmt.Errorf("bounds: %w", err))
 			}
 			axes[d] = value.Axis{Lo: lo, Hi: hi}
 		}
 		arr, err := arrayFromJSON(inputs[sym.Name], arrT.Elem, axes)
 		if err != nil {
-			return nil, fmt.Errorf("ps: input %s: %w", sym.Name, err)
+			return nil, inputErr(sym.Name, err)
 		}
 		args[i] = arr
 	}
@@ -75,7 +78,7 @@ func ArgsFromJSON(p *Program, module string, inputs map[string]json.RawMessage) 
 func ResultsToJSON(p *Program, module string, results []any) (map[string]any, error) {
 	m := p.Module(module)
 	if m == nil {
-		return nil, fmt.Errorf("ps: no module %s", module)
+		return nil, &Error{Phase: PhaseRun, Module: module, Err: fmt.Errorf("no module %q", module)}
 	}
 	out := make(map[string]any, len(results))
 	for i, sym := range m.sem.Results {

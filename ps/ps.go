@@ -6,13 +6,29 @@
 //	flowchart + virtual dimensions) → {execute in parallel | generate C |
 //	hyperplane-transform}
 //
-// Quick start:
+// The service entry point is the Engine: a long-lived, concurrency-safe
+// runtime with one shared worker pool, a compiled-program cache keyed by
+// source hash, and engine-level default options. Programs prepare
+// modules into Runners, whose Run accepts a context for cancellation
+// and returns per-run statistics:
 //
-//	prog, err := ps.CompileProgram("relax.ps", source)
+//	eng := ps.NewEngine(ps.EngineWorkers(8))
+//	defer eng.Close()
+//	prog, err := eng.Compile("relax.ps", source)
 //	m := prog.Module("Relaxation")
 //	fmt.Println(m.Flowchart())           // Figure 6-style schedule
-//	out, err := prog.Run("Relaxation",
-//	    []any{grid, 256, 64}, ps.Workers(8))
+//	run, err := prog.Prepare("Relaxation")
+//	out, stats, err := run.Run(ctx, []any{grid, 256, 64})
+//	out, stats, err = run.RunNamed(ctx,
+//	    map[string]any{"InitialA": grid, "M": 256, "maxK": 64})
+//
+// Failures at every phase are *ps.Error values carrying the phase
+// (parse, check, schedule, run), the module, the equation label, and —
+// for front-end diagnostics — the source position.
+//
+// The one-shot CompileProgram/Program.Run entry points remain as thin
+// wrappers over the same pipeline for scripts and tests that do not
+// need a shared runtime.
 //
 // The hyperplane restructuring of §4 is exposed as a source-to-source
 // transformation:
@@ -22,6 +38,7 @@
 package ps
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ast"
@@ -43,11 +60,17 @@ type Array = value.Array
 // window size for virtual allocation.
 type Axis = value.Axis
 
-// Program is a compiled PS compilation unit, ready to inspect and run.
+// Program is a compiled PS compilation unit, ready to inspect, prepare
+// and run. Programs are immutable after compilation and safe for
+// concurrent use from many goroutines.
 type Program struct {
 	checked *sem.Program
 	ip      *interp.Program
 	mods    map[string]*Module
+	// eng is the engine this program was compiled through, or nil for
+	// the one-shot CompileProgram path; it supplies the shared pool and
+	// default options to prepared Runners.
+	eng *Engine
 }
 
 // Module exposes one module's analyses.
@@ -59,21 +82,29 @@ type Module struct {
 }
 
 // CompileProgram parses, checks and schedules every module of a PS source
-// text. The name is used in diagnostics only.
+// text. The name is used in diagnostics only. Programs compiled this way
+// have no shared engine pool: each Run spawns (and closes) its own
+// worker pool. Services should compile through an Engine instead.
 func CompileProgram(name, source string) (*Program, error) {
+	return compileProgram(nil, name, source)
+}
+
+// compileProgram runs the front half of the pipeline, attributing
+// failures to their phase.
+func compileProgram(eng *Engine, name, source string) (*Program, error) {
 	parsed, err := parser.ParseProgram(name, source)
 	if err != nil {
-		return nil, err
+		return nil, compileError(PhaseParse, name, err)
 	}
 	checked, err := sem.CheckNamed(name, parsed)
 	if err != nil {
-		return nil, err
+		return nil, compileError(PhaseCheck, name, err)
 	}
 	ip, err := interp.Compile(checked)
 	if err != nil {
-		return nil, err
+		return nil, compileError(PhaseSchedule, name, err)
 	}
-	p := &Program{checked: checked, ip: ip, mods: make(map[string]*Module)}
+	p := &Program{checked: checked, ip: ip, mods: make(map[string]*Module), eng: eng}
 	for _, m := range checked.Modules {
 		p.mods[m.Name] = &Module{
 			prog:  p,
@@ -131,12 +162,17 @@ func Fused() RunOption { return func(o *interp.Options) { o.Fuse = true } }
 // Run executes the named module. Scalar arguments are Go ints, float64s,
 // bools or strings; array arguments are *ps.Array. One value is returned
 // per declared module result.
+//
+// Run is the one-shot convenience over Prepare/Runner.Run: it uses a
+// background context and discards the run statistics. Services holding
+// a module hot should Prepare once and reuse the Runner.
 func (p *Program) Run(module string, args []any, opts ...RunOption) ([]any, error) {
-	var o interp.Options
-	for _, f := range opts {
-		f(&o)
+	r, err := p.Prepare(module, opts...)
+	if err != nil {
+		return nil, err
 	}
-	return p.ip.Run(module, args, o)
+	results, _, err := r.Run(context.Background(), args)
+	return results, err
 }
 
 // Name returns the module's declared name.
@@ -246,7 +282,8 @@ func (m *Module) Hyperplane(eqLabel string) (*Hyperplane, error) {
 		}
 	}
 	if eq == nil {
-		return nil, fmt.Errorf("ps: module %s has no equation %s", m.sem.Name, eqLabel)
+		return nil, &Error{Phase: PhaseSchedule, Module: m.sem.Name, Equation: eqLabel,
+			Err: fmt.Errorf("module has no equation %s", eqLabel)}
 	}
 	an, err := hyperplane.Analyze(m.sem, eq)
 	if err != nil {

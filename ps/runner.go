@@ -1,0 +1,173 @@
+package ps
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/interp"
+	"repro/internal/par"
+	"repro/internal/types"
+)
+
+// Runner is a prepared activation of one module: the module is
+// resolved, options are merged (engine defaults first, then Prepare's),
+// and every Run reuses that state. A Runner is immutable and safe for
+// concurrent Run calls from many goroutines — the intended shape for a
+// service handling simultaneous requests over one compiled program.
+type Runner struct {
+	prog *Program
+	mod  *Module
+	opts interp.Options
+	// pool is the persistent pool serving this runner's DOALLs: the
+	// engine's shared pool, or a dedicated engine-tracked pool when the
+	// runner was prepared with a different worker count. nil for
+	// engine-less programs (each Run then spawns a transient pool) and
+	// for sequential runners.
+	pool *par.Pool
+}
+
+// Prepare resolves the named module and fixes its execution options,
+// returning a reusable Runner. Engine default options (for programs
+// compiled through an Engine) are applied before opts.
+//
+// For engine programs the runner is bound to a persistent pool at
+// Prepare time: the engine's shared pool, or — when a Workers option
+// asks for a different width — a dedicated pool created once here and
+// closed with the engine, so the per-Run path never pays pool setup.
+func (p *Program) Prepare(module string, opts ...RunOption) (*Runner, error) {
+	m := p.Module(module)
+	if m == nil {
+		return nil, &Error{Phase: PhaseRun, Module: module, Err: fmt.Errorf("no module %q", module)}
+	}
+	var o interp.Options
+	if p.eng != nil {
+		for _, f := range p.eng.defaults {
+			f(&o)
+		}
+	}
+	for _, f := range opts {
+		f(&o)
+	}
+	r := &Runner{prog: p, mod: m, opts: o}
+	if eng := p.eng; eng != nil && !o.Sequential {
+		if o.Workers <= 0 || o.Workers == eng.pool.Workers() {
+			r.pool = eng.pool
+		} else {
+			pool := par.NewPool(o.Workers)
+			if !eng.trackPool(pool) {
+				pool.Close()
+				return nil, &Error{Phase: PhaseRun, Module: module, Err: errors.New("engine is closed")}
+			}
+			r.pool = pool
+		}
+	}
+	return r, nil
+}
+
+// Module returns the module this runner activates.
+func (r *Runner) Module() *Module { return r.mod }
+
+// Run executes the module with positional arguments. Scalar arguments
+// are Go ints, float64s, bools or strings; array arguments are
+// *ps.Array. One value is returned per declared module result, along
+// with populated RunStats (also on failure, with the counters
+// accumulated up to the abort).
+//
+// ctx cancellation or deadline expiry aborts sequential loops within
+// one iteration and in-flight DOALLs within one chunk; the returned
+// error then satisfies errors.Is(err, ctx.Err()).
+func (r *Runner) Run(ctx context.Context, args []any) ([]any, *RunStats, error) {
+	o := r.opts
+	var st interp.Stats
+	o.Stats = &st
+	if eng := r.prog.eng; eng != nil {
+		if eng.closed.Load() {
+			return nil, &RunStats{Workers: 1}, &Error{Phase: PhaseRun, Module: r.mod.Name(), Err: errors.New("engine is closed")}
+		}
+		o.Pool = r.pool
+	}
+	start := time.Now()
+	results, err := r.prog.ip.RunCtx(ctx, r.mod.Name(), args, o)
+	stats := &RunStats{
+		EquationInstances: st.EqInstances.Load(),
+		DOALLChunks:       st.Chunks.Load(),
+		Workers:           effectiveWorkers(o),
+		WallTime:          time.Since(start),
+	}
+	if err != nil {
+		return nil, stats, runError(r.mod.Name(), err)
+	}
+	return results, stats, nil
+}
+
+// RunNamed executes the module with arguments keyed by parameter name,
+// the natural shape for service payloads. Every declared parameter must
+// be present; unknown names are rejected.
+func (r *Runner) RunNamed(ctx context.Context, args map[string]any) ([]any, *RunStats, error) {
+	argv, err := r.positional(args)
+	if err != nil {
+		return nil, &RunStats{Workers: effectiveWorkers(r.opts)}, err
+	}
+	return r.Run(ctx, argv)
+}
+
+// positional maps named arguments onto the module's declared parameter
+// order.
+func (r *Runner) positional(args map[string]any) ([]any, error) {
+	params := r.mod.sem.Params
+	byName := make(map[string]int, len(params))
+	for i, sym := range params {
+		byName[sym.Name] = i
+	}
+	for name := range args {
+		if _, ok := byName[name]; !ok {
+			return nil, &Error{Phase: PhaseRun, Module: r.mod.Name(),
+				Err: fmt.Errorf("unknown argument %q", name)}
+		}
+	}
+	argv := make([]any, len(params))
+	for i, sym := range params {
+		v, ok := args[sym.Name]
+		if !ok {
+			return nil, &Error{Phase: PhaseRun, Module: r.mod.Name(),
+				Err: fmt.Errorf("missing argument %q (%s)", sym.Name, sym.Type)}
+		}
+		argv[i] = v
+	}
+	return argv, nil
+}
+
+// effectiveWorkers reports the worker count a run with these options
+// uses.
+func effectiveWorkers(o interp.Options) int {
+	switch {
+	case o.Sequential:
+		return 1
+	case o.Pool != nil:
+		return o.Pool.Workers()
+	case o.Workers > 0:
+		return o.Workers
+	default:
+		return par.DefaultWorkers()
+	}
+}
+
+// Params describes the module's declared parameters as (name, type)
+// pairs in positional order — the contract RunNamed checks against.
+func (r *Runner) Params() []ParamInfo {
+	params := r.mod.sem.Params
+	out := make([]ParamInfo, len(params))
+	for i, sym := range params {
+		out[i] = ParamInfo{Name: sym.Name, Type: sym.Type.String(), IsArray: types.Rank(sym.Type) > 0}
+	}
+	return out
+}
+
+// ParamInfo describes one declared module parameter.
+type ParamInfo struct {
+	Name    string
+	Type    string
+	IsArray bool
+}

@@ -1,0 +1,32 @@
+package ps
+
+import (
+	"fmt"
+	"time"
+)
+
+// RunStats reports per-run execution counters for capacity planning:
+// how much work a run represented, how it was carved into parallel
+// chunks, and how long it took. Every Runner.Run returns one, including
+// failed and cancelled runs (with the counters accumulated up to the
+// abort).
+type RunStats struct {
+	// EquationInstances is the number of equation instances executed —
+	// one per evaluation of one equation at one index point, the
+	// paper's unit of schedulable work.
+	EquationInstances int64
+	// DOALLChunks is the number of parallel chunks dispatched to
+	// workers across all DOALL loops of the run.
+	DOALLChunks int64
+	// Workers is the worker count the run was configured with (1 for
+	// sequential runs).
+	Workers int
+	// WallTime is the elapsed time of the activation.
+	WallTime time.Duration
+}
+
+// String renders the stats on one line.
+func (s *RunStats) String() string {
+	return fmt.Sprintf("eq_instances=%d doall_chunks=%d workers=%d wall=%s",
+		s.EquationInstances, s.DOALLChunks, s.Workers, s.WallTime)
+}
