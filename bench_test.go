@@ -22,6 +22,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"testing"
 
@@ -223,6 +224,69 @@ func BenchmarkEngine_Activation(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkDOALL_Relaxation measures per-activation DOALL dispatch on the
+// testdata Jacobi module through the service path (Engine + prepared
+// Runner): the outer K loop is iterative and every plane is a collapsed
+// I×J DOALL, so the benchmark is dominated by how cheaply the executor
+// turns a schedule into loop iterations. Grain variants expose the
+// chunking overhead for small bodies.
+func BenchmarkDOALL_Relaxation(b *testing.B) {
+	benchDOALL(b, "testdata/relaxation.ps", "Relaxation")
+}
+
+// BenchmarkDOALL_GaussSeidel is the same measurement on the testdata
+// Gauss–Seidel revision, whose schedule is all-iterative (DO K (DO I (DO
+// J))): it isolates the sequential per-iteration path, where descriptor
+// dispatch and bound lookups used to be re-paid on every iteration.
+func BenchmarkDOALL_GaussSeidel(b *testing.B) {
+	benchDOALL(b, "testdata/gauss_seidel.ps", "Relaxation")
+}
+
+func benchDOALL(b *testing.B, file, module string) {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := ps.NewEngine()
+	defer eng.Close()
+	prog, err := eng.Compile(file, string(src))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	// Small keeps the grid tiny so fixed per-activation cost (bound
+	// evaluation, allocation, loop setup, chunk dispatch) dominates;
+	// Large is kernel-work-dominated and bounds the end-to-end effect.
+	sizes := []struct {
+		name    string
+		m, maxK int64
+	}{{"Small", 8, 3}, {"Large", 48, 4}}
+	for _, sz := range sizes {
+		args := []any{benchGrid(sz.m), sz.m, sz.maxK}
+		run := func(b *testing.B, opts ...ps.RunOption) {
+			b.Helper()
+			r, err := prog.Prepare(module, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := r.Run(ctx, args); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		// Par2 forces pool dispatch even on a single-CPU host, so the
+		// DOALL chunk path is always exercised; grain variants expose
+		// chunking overhead for small bodies.
+		b.Run(sz.name+"/Seq", func(b *testing.B) { run(b, ps.Sequential()) })
+		b.Run(sz.name+"/Par2", func(b *testing.B) { run(b, ps.Workers(2)) })
+		for _, g := range []int64{64, 1024} {
+			b.Run(fmt.Sprintf("%s/Par2Grain%d", sz.name, g), func(b *testing.B) { run(b, ps.Workers(2), ps.Grain(g)) })
+		}
+	}
 }
 
 // --- native references ----------------------------------------------------

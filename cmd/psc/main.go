@@ -4,12 +4,13 @@
 //
 // Usage:
 //
-//	psc [-module name] [-dump c|flowchart|components|graph|dot|virtual|source]
+//	psc [-module name] [-dump c|flowchart|plan|components|graph|dot|virtual|source]
 //	    [-openmp] [-no-virtual] [-transform eq.N] file.ps
 //
 // Examples:
 //
 //	psc -dump flowchart relaxation.ps      # Figure 6
+//	psc -dump plan relaxation.ps           # lowered loop plan (shared IR)
 //	psc -dump c -openmp relaxation.ps      # annotated C with OpenMP pragmas
 //	psc -transform eq.3 gs.ps              # §4 hyperplane-transformed source
 package main
@@ -24,7 +25,7 @@ import (
 
 func main() {
 	module := flag.String("module", "", "module to operate on (default: last in file)")
-	dump := flag.String("dump", "c", "what to emit: c, flowchart, components, graph, dot, virtual, source")
+	dump := flag.String("dump", "c", "what to emit: c, flowchart, plan, components, graph, dot, virtual, source")
 	openmp := flag.Bool("openmp", false, "emit #pragma omp parallel for above DOALL loops")
 	noVirtual := flag.Bool("no-virtual", false, "allocate every dimension physically")
 	transform := flag.String("transform", "", "apply the §4 hyperplane transformation to the named equation and emit the rewritten PS source")
@@ -76,6 +77,8 @@ func main() {
 		fmt.Print(c)
 	case "flowchart":
 		fmt.Print(m.Flowchart())
+	case "plan":
+		fmt.Print(m.Plan())
 	case "components":
 		for i, c := range m.Components() {
 			fmt.Printf("component %d: %s\n", i+1, c)

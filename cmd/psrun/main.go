@@ -4,7 +4,7 @@
 // Usage:
 //
 //	psrun [-module name] [-workers N] [-seq] [-strict] [-grain N]
-//	      [-fused] [-timeout d] [-stats] [-in inputs.json] file.ps
+//	      [-fused] [-timeout d] [-stats] [-explain] [-in inputs.json] file.ps
 //
 // The input file maps parameter names to values: scalars as JSON numbers
 // or booleans, arrays as (nested) JSON lists. Array parameter bounds are
@@ -15,12 +15,20 @@
 //
 // -timeout bounds the run with a context deadline; -stats prints the
 // run's counters (equation instances, DOALL chunks, workers, wall time)
-// to standard error.
+// to standard error. -explain prints the lowered loop plan the selected
+// options would execute — the flat IR shared by the interpreter and the
+// C generator — without running the module.
+//
+// Failures are reported as typed diagnostics (phase, module, equation,
+// source position). Exit status is 1 for program diagnostics (parse,
+// check, schedule and run failures) and 2 for usage errors (bad flags,
+// unreadable files, unknown module).
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,20 +42,19 @@ func main() {
 	seq := flag.Bool("seq", false, "force sequential execution")
 	strict := flag.Bool("strict", false, "enable single-assignment checking")
 	grain := flag.Int64("grain", 0, "minimum iterations per parallel chunk")
-	fused := flag.Bool("fused", false, "execute the loop-fused schedule variant (§5)")
+	fused := flag.Bool("fused", false, "execute the loop-fused plan variant (§5)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	stats := flag.Bool("stats", false, "print run statistics to stderr")
+	explain := flag.Bool("explain", false, "print the lowered loop plan and exit without running")
 	inFile := flag.String("in", "", "JSON file with parameter values (default: {} )")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: psrun [flags] file.ps")
-		flag.Usage()
-		os.Exit(2)
+		fatalUsage(errors.New("usage: psrun [flags] file.ps"))
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		fatalUsage(err)
 	}
 
 	eng := ps.NewEngine(ps.EngineWorkers(*workers))
@@ -77,17 +84,25 @@ func main() {
 	}
 	run, err := prog.Prepare(name, opts...)
 	if err != nil {
-		fatal(fmt.Errorf("psrun: no module %s (have %v)", name, names))
+		if prog.Module(name) == nil {
+			fatalUsage(fmt.Errorf("no module %s (have %v)", name, names))
+		}
+		fatal(err)
+	}
+
+	if *explain {
+		fmt.Print(run.Explain())
+		return
 	}
 
 	inputs := map[string]json.RawMessage{}
 	if *inFile != "" {
 		data, err := os.ReadFile(*inFile)
 		if err != nil {
-			fatal(err)
+			fatalUsage(err)
 		}
 		if err := json.Unmarshal(data, &inputs); err != nil {
-			fatal(fmt.Errorf("psrun: parsing %s: %w", *inFile, err))
+			fatalUsage(fmt.Errorf("parsing %s: %w", *inFile, err))
 		}
 	}
 	args, err := ps.ArgsFromJSON(prog, name, inputs)
@@ -120,7 +135,31 @@ func main() {
 	}
 }
 
+// fatal reports a program diagnostic and exits 1. Typed *ps.Error values
+// are rendered field by field: the failing phase, the module and
+// equation involved, and the source position when the front end has one.
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
+	var pe *ps.Error
+	if errors.As(err, &pe) {
+		fmt.Fprintf(os.Stderr, "psrun: %v\n", err)
+		fmt.Fprintf(os.Stderr, "  phase:    %s\n", pe.Phase)
+		if pe.Module != "" {
+			fmt.Fprintf(os.Stderr, "  module:   %s\n", pe.Module)
+		}
+		if pe.Equation != "" {
+			fmt.Fprintf(os.Stderr, "  equation: %s\n", pe.Equation)
+		}
+		if pe.Line > 0 {
+			fmt.Fprintf(os.Stderr, "  position: %s:%d:%d\n", pe.File, pe.Line, pe.Column)
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "psrun:", err)
+	}
 	os.Exit(1)
+}
+
+// fatalUsage reports a command-usage error and exits 2.
+func fatalUsage(err error) {
+	fmt.Fprintln(os.Stderr, "psrun:", err)
+	os.Exit(2)
 }

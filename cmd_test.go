@@ -5,7 +5,9 @@ package repro
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -83,6 +85,75 @@ func TestPsrunJSON(t *testing.T) {
 	}
 	if ys[1] != (0.0+1+4)/3 {
 		t.Errorf("Ys[1] = %v", ys[1])
+	}
+}
+
+// TestPscPlan drives psc -dump plan: the lowered loop program listing.
+func TestPscPlan(t *testing.T) {
+	out, errOut, err := runGo(t, "", "./cmd/psc", "-dump", "plan", "testdata/relaxation.ps")
+	if err != nil {
+		t.Fatalf("psc: %v\n%s", err, errOut)
+	}
+	for _, want := range []string{"plan Relaxation", "doall I, J collapse(2) leaf", "do K", "[kernel"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPsrunExplain drives psrun -explain: prints the plan the selected
+// options would execute without running the module.
+func TestPsrunExplain(t *testing.T) {
+	out, errOut, err := runGo(t, "", "./cmd/psrun", "-explain", "-fused", "-grain", "32", "testdata/relaxation.ps")
+	if err != nil {
+		t.Fatalf("psrun -explain: %v\n%s", err, errOut)
+	}
+	for _, want := range []string{"grain 32, fused plan", "plan Relaxation", "do K"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPsrunExitCodes builds psrun and checks the documented exit status
+// split: 2 for usage errors, 1 for program diagnostics (with the typed
+// fields rendered).
+func TestPsrunExitCodes(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "psrun")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/psrun").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	exitCode := func(args ...string) (int, string) {
+		var errb bytes.Buffer
+		cmd := exec.Command(bin, args...)
+		cmd.Stderr = &errb
+		err := cmd.Run()
+		if err == nil {
+			return 0, errb.String()
+		}
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("run: %v", err)
+		}
+		return ee.ExitCode(), errb.String()
+	}
+	// Usage: missing file → 2.
+	if code, _ := exitCode("testdata/does_not_exist.ps"); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+	// Usage: unknown module → 2.
+	if code, _ := exitCode("-module", "Nope", "testdata/relaxation.ps"); code != 2 {
+		t.Errorf("unknown module: exit %d, want 2", code)
+	}
+	// Program diagnostic: missing inputs → 1, with typed fields.
+	code, stderr := exitCode("testdata/relaxation.ps")
+	if code != 1 {
+		t.Errorf("missing inputs: exit %d, want 1", code)
+	}
+	for _, want := range []string{"phase:", "module:   Relaxation"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("diagnostic missing %q:\n%s", want, stderr)
+		}
 	}
 }
 

@@ -41,6 +41,12 @@ func main() {
 	fmt.Println("== schedule (flowchart) ==")
 	fmt.Print(m.Flowchart())
 
+	// The schedule is lowered once into the flat loop plan both the
+	// interpreter and the C generator consume (psrun -explain prints
+	// the same artifact).
+	fmt.Println("== lowered loop plan ==")
+	fmt.Print(m.Plan())
+
 	// Build an input signal 0², 1², 2², ...
 	n := int64(10)
 	xs := ps.NewRealArray(ps.Axis{Lo: 0, Hi: n + 1})

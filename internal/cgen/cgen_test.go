@@ -14,6 +14,7 @@ import (
 	"repro/internal/depgraph"
 	"repro/internal/interp"
 	"repro/internal/parser"
+	"repro/internal/plan"
 	"repro/internal/psrc"
 	"repro/internal/sem"
 	"repro/internal/types"
@@ -35,7 +36,7 @@ func generate(t *testing.T, src, modName string, opts cgen.Options) (string, *se
 	if err != nil {
 		t.Fatalf("schedule: %v", err)
 	}
-	c, err := cgen.Generate(m, sched, opts)
+	c, err := cgen.Generate(m, plan.Lower(m, sched, plan.Options{}), opts)
 	if err != nil {
 		t.Fatalf("generate: %v", err)
 	}
@@ -187,7 +188,7 @@ func TestGeneratedCPipeline(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		c, err := cgen.Generate(m, sched, cgen.Options{})
+		c, err := cgen.Generate(m, plan.Lower(m, sched, plan.Options{}), cgen.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

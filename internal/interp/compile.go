@@ -1,19 +1,21 @@
 // Package interp executes scheduled PS modules: a closure-compiling
-// evaluator for equations plus a flowchart engine that runs DO loops
+// evaluator for equations plus a plan executor that runs DO loops
 // sequentially and DOALL loops on the parallel runtime. It is the
-// execution substrate standing in for the paper's MIMD target: the
-// schedules the compiler emits are run, in parallel, with virtual
-// dimensions allocated as sliding windows.
+// execution substrate standing in for the paper's MIMD target: each
+// module's schedule is lowered once (at compile time) into the flat
+// loop-plan IR of internal/plan, and activations execute that plan with
+// virtual dimensions allocated as sliding windows.
 package interp
 
 import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"repro/internal/ast"
 	"repro/internal/core"
-	"repro/internal/depgraph"
+	"repro/internal/plan"
 	"repro/internal/sem"
 	"repro/internal/types"
 	"repro/internal/value"
@@ -28,27 +30,57 @@ type (
 	evalA func(en *env, fr []int64) any
 )
 
-// compiledModule is one module ready to run.
+// kernelFn executes one equation at the current index frame.
+type kernelFn func(en *env, fr []int64)
+
+// compiledModule is one module ready to run: equation kernels compiled
+// once, the two lowered plan variants, slot-resolved bound thunks, and
+// precomputed allocation descriptors.
 type compiledModule struct {
 	m     *sem.Module
 	sched *core.Schedule
-	// fused is the loop-fusion variant of the flowchart (Options.Fuse).
-	fused core.Flowchart
-	// slotOf assigns every subrange type a frame slot for its index value.
+	// base and fused are the plan variants (Options.Fuse selects one at
+	// activation time; both are lowered once here, not per run).
+	base  *compiledPlan
+	fused *compiledPlan
+	// slotOf assigns every subrange type a frame slot for its index
+	// value — the plan's Bounds order, shared by both variants. It is
+	// consulted at compile time only; execution reads slots baked into
+	// plan steps and closures.
 	slotOf map[*types.Subrange]int
 	nSlots int
+	// bounds holds compiled lo/hi thunks per frame slot, evaluated once
+	// per activation into env.bounds.
+	bounds [][2]evalI
 	// symIdx numbers all data symbols for the env value table.
 	symIdx map[*sem.Symbol]int
 	syms   []*sem.Symbol
-	eqs    map[*sem.Equation]*compiledEq
-	// dimBounds holds compiled lo/hi evaluators per subrange.
-	dimBounds map[*types.Subrange][2]evalI
+	// allocs describes the result and local arrays allocated per
+	// activation, with §3.4 windows resolved at compile time.
+	allocs []allocInfo
+	// ws pools per-worker execution state reused across DOALL chunks.
+	ws sync.Pool
 }
 
-// compiledEq executes one equation at the current index frame.
-type compiledEq struct {
-	eq   *sem.Equation
-	exec func(en *env, fr []int64)
+// compiledPlan pairs one lowered plan variant with its kernel table,
+// aligned index-for-index with pl.Eqs.
+type compiledPlan struct {
+	pl      *plan.Program
+	kernels []kernelFn
+}
+
+// allocInfo describes one array allocated at activation entry.
+type allocInfo struct {
+	si   int
+	elem types.Kind
+	dims []allocDim
+}
+
+// allocDim is one dimension of an allocated array: the frame slot whose
+// bounds size it and the window (0 = physical allocation).
+type allocDim struct {
+	slot   int
+	window int
 }
 
 // compiler compiles one module's equations.
@@ -75,14 +107,15 @@ func (p *Program) compileModule(m *sem.Module, sched *core.Schedule) (cm *compil
 			panic(r)
 		}
 	}()
+	// Lower the schedule once into both plan variants; everything below
+	// compiles against the plan's slot assignment.
+	basePl := plan.Lower(m, sched, plan.Options{})
+	fusedPl := plan.Lower(m, sched, plan.Options{Fuse: true})
 	cm = &compiledModule{
-		m:         m,
-		sched:     sched,
-		fused:     core.Fuse(sched.Flowchart),
-		slotOf:    make(map[*types.Subrange]int),
-		symIdx:    make(map[*sem.Symbol]int),
-		eqs:       make(map[*sem.Equation]*compiledEq),
-		dimBounds: make(map[*types.Subrange][2]evalI),
+		m:      m,
+		sched:  sched,
+		slotOf: make(map[*types.Subrange]int, len(basePl.Bounds)),
+		symIdx: make(map[*sem.Symbol]int),
 	}
 	p.mods[m] = cm // registered before equation compilation so calls resolve
 	c := &compiler{p: p, cm: cm, m: m}
@@ -92,23 +125,51 @@ func (p *Program) compileModule(m *sem.Module, sched *core.Schedule) (cm *compil
 		cm.symIdx[sym] = len(cm.syms)
 		cm.syms = append(cm.syms, sym)
 	}
-	for _, info := range m.Subranges {
-		cm.slotOf[info.Type] = cm.nSlots
-		cm.nSlots++
-		lo := c.compileI(info.Type.Lo)
-		hi := c.compileI(info.Type.Hi)
-		cm.dimBounds[info.Type] = [2]evalI{lo, hi}
+	cm.nSlots = basePl.NSlots()
+	cm.bounds = make([][2]evalI, cm.nSlots)
+	for i, b := range basePl.Bounds {
+		cm.slotOf[b.Subrange] = i
+		cm.bounds[i] = [2]evalI{c.compileI(b.Lo), c.compileI(b.Hi)}
 	}
+	// Equation kernels compile once and are shared by both variants.
+	kernels := make(map[*sem.Equation]kernelFn, len(m.Eqs))
 	for _, eq := range m.Eqs {
 		c.eq = eq
-		cm.eqs[eq] = c.compileEquation(eq)
+		kernels[eq] = c.compileEquation(eq)
+		c.eq = nil
+	}
+	cm.base = bindPlan(basePl, kernels)
+	cm.fused = bindPlan(fusedPl, kernels)
+	// Allocation descriptors for result and local arrays, windows
+	// resolved from the plan's virtual-dimension report.
+	win := basePl.Windows()
+	for _, sym := range append(append([]*sem.Symbol{}, m.Results...), m.Locals...) {
+		arr, isArr := sym.Type.(*types.Array)
+		if !isArr {
+			continue
+		}
+		al := allocInfo{si: cm.symIdx[sym], elem: arr.Elem.Kind()}
+		for d, sr := range arr.Dims {
+			al.dims = append(al.dims, allocDim{slot: cm.slotOf[sr], window: win[sym][d]})
+		}
+		cm.allocs = append(cm.allocs, al)
 	}
 	return cm, nil
 }
 
+// bindPlan aligns the shared kernel table with one plan variant's
+// equation order.
+func bindPlan(pl *plan.Program, kernels map[*sem.Equation]kernelFn) *compiledPlan {
+	cp := &compiledPlan{pl: pl, kernels: make([]kernelFn, len(pl.Eqs))}
+	for i, eq := range pl.Eqs {
+		cp.kernels[i] = kernels[eq]
+	}
+	return cp
+}
+
 // --- equation compilation ---------------------------------------------------
 
-func (c *compiler) compileEquation(eq *sem.Equation) *compiledEq {
+func (c *compiler) compileEquation(eq *sem.Equation) kernelFn {
 	if eq.MultiCall != nil || eq.WholeCall != nil {
 		return c.compileCallEquation(eq)
 	}
@@ -130,9 +191,9 @@ func (c *compiler) compileEquation(eq *sem.Equation) *compiledEq {
 	if rank == 0 {
 		// Scalar target.
 		rhs := c.compileScalarAs(eq.RHS, sym.Type)
-		return &compiledEq{eq: eq, exec: func(en *env, fr []int64) {
+		return func(en *env, fr []int64) {
 			en.scalars[si] = rhs(en, fr)
-		}}
+		}
 	}
 
 	elem := sym.Type.(*types.Array).Elem
@@ -147,7 +208,7 @@ func (c *compiler) compileEquation(eq *sem.Equation) *compiledEq {
 	switch elem.Kind() {
 	case types.RealKind:
 		rhs := c.compileF(eq.RHS)
-		return &compiledEq{eq: eq, exec: func(en *env, fr []int64) {
+		return func(en *env, fr []int64) {
 			var buf [maxRank]int64
 			idx := buf[:rank]
 			idxOf(en, fr, idx)
@@ -158,10 +219,10 @@ func (c *compiler) compileEquation(eq *sem.Equation) *compiledEq {
 			} else {
 				a.F[arrOffset(a, idx)] = v
 			}
-		}}
+		}
 	case types.BoolKind:
 		rhs := c.compileB(eq.RHS)
-		return &compiledEq{eq: eq, exec: func(en *env, fr []int64) {
+		return func(en *env, fr []int64) {
 			var buf [maxRank]int64
 			idx := buf[:rank]
 			idxOf(en, fr, idx)
@@ -172,10 +233,10 @@ func (c *compiler) compileEquation(eq *sem.Equation) *compiledEq {
 			} else {
 				a.B[arrOffset(a, idx)] = v
 			}
-		}}
+		}
 	case types.IntKind, types.SubrangeKind, types.CharKind, types.EnumKind:
 		rhs := c.compileI(eq.RHS)
-		return &compiledEq{eq: eq, exec: func(en *env, fr []int64) {
+		return func(en *env, fr []int64) {
 			var buf [maxRank]int64
 			idx := buf[:rank]
 			idxOf(en, fr, idx)
@@ -186,21 +247,21 @@ func (c *compiler) compileEquation(eq *sem.Equation) *compiledEq {
 			} else {
 				a.I[arrOffset(a, idx)] = v
 			}
-		}}
+		}
 	default:
 		rhs := c.compileA(eq.RHS)
-		return &compiledEq{eq: eq, exec: func(en *env, fr []int64) {
+		return func(en *env, fr []int64) {
 			var buf [maxRank]int64
 			idx := buf[:rank]
 			idxOf(en, fr, idx)
 			en.arrays[si].Set(idx, rhs(en, fr))
-		}}
+		}
 	}
 }
 
 // compileCallEquation handles whole-value module calls: x = f(...) and
 // multi-target a, b = f(...).
-func (c *compiler) compileCallEquation(eq *sem.Equation) *compiledEq {
+func (c *compiler) compileCallEquation(eq *sem.Equation) kernelFn {
 	call := eq.WholeCall
 	if eq.MultiCall != nil {
 		call = eq.MultiCall
@@ -227,7 +288,7 @@ func (c *compiler) compileCallEquation(eq *sem.Equation) *compiledEq {
 		slots[i] = c.cm.symIdx[t.Sym]
 		isArray[i] = types.Rank(t.Sym.Type) > 0
 	}
-	return &compiledEq{eq: eq, exec: func(en *env, fr []int64) {
+	return func(en *env, fr []int64) {
 		argv := make([]any, len(args))
 		for i, f := range args {
 			argv[i] = f(en, fr)
@@ -243,7 +304,7 @@ func (c *compiler) compileCallEquation(eq *sem.Equation) *compiledEq {
 				en.scalars[slot] = results[i]
 			}
 		}
-	}}
+	}
 }
 
 // --- expression compilation ---------------------------------------------------
@@ -995,7 +1056,3 @@ func (c *compiler) scalarSlot(name string) int {
 	}
 	return c.cm.symIdx[sym]
 }
-
-// silence unused-import warnings for packages referenced only in certain
-// build configurations.
-var _ = depgraph.DataDep

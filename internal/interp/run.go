@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/depgraph"
 	"repro/internal/par"
+	"repro/internal/plan"
 	"repro/internal/sem"
 	"repro/internal/types"
 	"repro/internal/value"
@@ -28,8 +29,8 @@ type Options struct {
 	NoVirtual bool
 	// Grain is the minimum iterations per parallel chunk.
 	Grain int64
-	// Fuse executes the loop-fusion variant of the schedule (the §5
-	// "merge iterative loops" extension).
+	// Fuse selects the loop-fused plan variant (the §5 "merge iterative
+	// loops" extension), lowered once at compile time.
 	Fuse bool
 	// Pool, when non-nil, is a shared worker pool used for every DOALL of
 	// the activation tree instead of spawning a pool per activation. The
@@ -90,8 +91,10 @@ type runtimeError struct {
 	eq  string
 }
 
-// Compile prepares every module of a checked program for execution,
-// scheduling each module's dependency graph with the core scheduler.
+// Compile prepares every module of a checked program for execution:
+// each module's dependency graph is scheduled with the core scheduler
+// and the resulting flowchart is lowered once into the flat plan IR
+// (base and fused variants) that Run executes.
 func Compile(prog *sem.Program) (*Program, error) {
 	p := &Program{
 		Prog:   prog,
@@ -129,6 +132,23 @@ func (p *Program) Schedule(name string) *core.Schedule {
 	return p.Scheds[m]
 }
 
+// Plan returns the lowered loop program for a module: the base variant,
+// or the loop-fused one. It is nil for unknown modules.
+func (p *Program) Plan(name string, fused bool) *plan.Program {
+	m := p.Prog.Module(name)
+	if m == nil {
+		return nil
+	}
+	cm := p.mods[m]
+	if cm == nil {
+		return nil
+	}
+	if fused {
+		return cm.fused.pl
+	}
+	return cm.base.pl
+}
+
 // runState is the execution context shared by a root activation and
 // every nested module call it makes: options, the worker pool, the
 // cancellation signal and the statistics sink.
@@ -157,20 +177,43 @@ func (rs *runState) cancelChan() <-chan struct{} {
 
 // env is the runtime state of one module activation.
 type env struct {
-	cm      *compiledModule
+	cm *compiledModule
+	// cp is the plan variant this activation executes (base or fused).
+	cp      *compiledPlan
 	scalars []any
 	arrays  []*value.Array
-	rs      *runState
-	strict  bool
+	// bounds holds each subrange's lo/hi for this activation, indexed by
+	// frame slot; evaluated once at activation entry (PS bounds depend
+	// only on module scalars), so loops never re-evaluate bound thunks.
+	bounds [][2]int64
+	rs     *runState
+	strict bool
 	// inParallel marks that an enclosing DOALL is already distributing
 	// work, so nested DOALLs run sequentially within each worker.
 	inParallel bool
 	// eqCount counts equation instances executed through this env (or a
 	// per-chunk copy of it); deltas are flushed into rs.stats.
 	eqCount int64
-	// curEq is the label of the equation currently executing, read when a
-	// runtime failure needs attribution.
-	curEq string
+	// curEq is the kernel index of the equation currently executing
+	// (an index into cp.pl.Eqs), or -1; read when a runtime failure
+	// needs attribution.
+	curEq int32
+}
+
+// eqLabel resolves the executing equation's label for error reports.
+func (en *env) eqLabel() string {
+	if en.curEq >= 0 {
+		return en.cp.pl.Eqs[en.curEq].Label
+	}
+	return ""
+}
+
+// workerState is pooled per-chunk execution state: a private env copy
+// and index frame reused across DOALL dispatches instead of allocated
+// per chunk.
+type workerState struct {
+	en env
+	fr []int64
 }
 
 // Run executes the named module with the given arguments. Scalar
@@ -236,7 +279,7 @@ func (p *Program) runModule(rs *runState, cm *compiledModule, args []any, inPara
 		if r := recover(); r != nil {
 			curEq := ""
 			if en != nil {
-				curEq = en.curEq
+				curEq = en.eqLabel()
 			}
 			switch e := r.(type) {
 			case runtimeError:
@@ -261,11 +304,16 @@ func (p *Program) runModule(rs *runState, cm *compiledModule, args []any, inPara
 	opts := rs.opts
 	en = &env{
 		cm:         cm,
+		cp:         cm.base,
 		scalars:    make([]any, len(cm.syms)),
 		arrays:     make([]*value.Array, len(cm.syms)),
 		rs:         rs,
 		strict:     opts.Strict,
 		inParallel: inParallel,
+		curEq:      -1,
+	}
+	if opts.Fuse {
+		en.cp = cm.fused
 	}
 
 	// Bind parameters.
@@ -282,44 +330,34 @@ func (p *Program) runModule(rs *runState, cm *compiledModule, args []any, inPara
 		}
 	}
 
-	// Allocate result and local arrays, honoring virtual dimensions.
-	windows := make(map[*sem.Symbol]map[int]int)
-	if !opts.NoVirtual {
-		for _, v := range cm.sched.Virtual {
-			if windows[v.Sym] == nil {
-				windows[v.Sym] = make(map[int]int)
-			}
-			windows[v.Sym][v.Dim] = v.Window
-		}
-	}
+	// Evaluate every subrange bound once for this activation: loops and
+	// array allocations below read the resolved values by frame slot.
 	fr := make([]int64, cm.nSlots)
-	for _, sym := range append(append([]*sem.Symbol{}, m.Results...), m.Locals...) {
-		si := cm.symIdx[sym]
-		arr, isArr := sym.Type.(*types.Array)
-		if !isArr {
-			continue
-		}
-		axes := make([]value.Axis, len(arr.Dims))
-		for d, sr := range arr.Dims {
-			b := cm.dimBounds[sr]
-			axes[d] = value.Axis{Lo: b[0](en, fr), Hi: b[1](en, fr)}
-			if w, ok := windows[sym][d]; ok {
-				axes[d].Window = w
+	en.bounds = make([][2]int64, cm.nSlots)
+	for i, b := range cm.bounds {
+		en.bounds[i] = [2]int64{b[0](en, fr), b[1](en, fr)}
+	}
+
+	// Allocate result and local arrays from the precomputed descriptors,
+	// honoring virtual dimensions unless ablated.
+	for _, al := range cm.allocs {
+		axes := make([]value.Axis, len(al.dims))
+		for d, ad := range al.dims {
+			b := en.bounds[ad.slot]
+			axes[d] = value.Axis{Lo: b[0], Hi: b[1]}
+			if ad.window > 0 && !opts.NoVirtual {
+				axes[d].Window = ad.window
 			}
 		}
-		a := value.NewArray(arr.Elem.Kind(), axes)
+		a := value.NewArray(al.elem, axes)
 		if opts.Strict {
 			a.EnableStrict()
 		}
-		en.arrays[si] = a
+		en.arrays[al.si] = a
 	}
 
-	// Execute the flowchart (optionally the loop-fused variant).
-	fc := cm.sched.Flowchart
-	if opts.Fuse {
-		fc = cm.fused
-	}
-	p.execFlowchart(en, fc, fr)
+	// Execute the plan.
+	p.execSteps(en, fr, 0, len(en.cp.pl.Steps))
 	if rs.cancelled() {
 		return nil, &RunError{Module: m.Name, Err: rs.ctx.Err()}
 	}
@@ -379,110 +417,150 @@ func coerceArg(v any, t types.Type) (any, error) {
 	return nil, fmt.Errorf("cannot use %T as %s", v, t)
 }
 
-// execFlowchart runs the descriptors in order at the current frame.
-func (p *Program) execFlowchart(en *env, fc core.Flowchart, fr []int64) {
-	for _, d := range fc {
-		switch x := d.(type) {
-		case *core.NodeDesc:
-			if x.Node.Kind == depgraph.EquationNode {
-				en.curEq = x.Node.Eq.Label
-				en.eqCount++
-				en.cm.eqs[x.Node.Eq].exec(en, fr)
+// execSteps runs the plan instructions [lo, hi) at the current frame.
+// This is the per-iteration hot path: dispatch is a switch on a plan
+// opcode, bounds are slot-indexed slice reads and kernels are direct
+// slice-indexed calls — no map lookups, no flowchart descriptors.
+func (p *Program) execSteps(en *env, fr []int64, lo, hi int) {
+	steps := en.cp.pl.Steps
+	kernels := en.cp.kernels
+	for i := lo; i < hi; {
+		st := &steps[i]
+		switch st.Op {
+		case plan.OpEq:
+			en.curEq = int32(st.Eq)
+			en.eqCount++
+			kernels[st.Eq](en, fr)
+			i++
+		case plan.OpDo:
+			slot := st.Dims[0]
+			b := en.bounds[slot]
+			canceled := en.rs.canceled
+			for v := b[0]; v <= b[1]; v++ {
+				if canceled != nil && canceled.Load() {
+					panic(runtimeError{err: en.rs.ctx.Err()})
+				}
+				fr[slot] = v
+				p.execSteps(en, fr, i+1, st.End)
 			}
-		case *core.LoopDesc:
-			p.execLoop(en, x, fr)
+			i = st.End
+		default: // plan.OpDoAll
+			p.execDoAll(en, fr, st, i+1)
+			i = st.End
 		}
 	}
 }
 
-func (p *Program) execLoop(en *env, loop *core.LoopDesc, fr []int64) {
-	b := en.cm.dimBounds[loop.Subrange]
-	lo, hi := b[0](en, fr), b[1](en, fr)
-	slot := en.cm.slotOf[loop.Subrange]
+// execDoAll runs one (pre-collapsed) DOALL step: the plan has already
+// flattened directly nested parallel loops into one linear iteration
+// space, so execution only resolves bounds and dispatches chunks.
+func (p *Program) execDoAll(en *env, fr []int64, st *plan.Step, bodyLo int) {
 	rs := en.rs
+	var lob, hib [plan.MaxCollapse]int64
+	ndim := len(st.Dims)
+	total := int64(1)
+	for d, slot := range st.Dims {
+		b := en.bounds[slot]
+		if b[1] < b[0] {
+			return // empty dimension: no equation instances at all
+		}
+		lob[d], hib[d] = b[0], b[1]
+		total *= b[1] - b[0] + 1
+	}
+	bodyHi := st.End
 
-	parallel := loop.Parallel && rs.pool != nil && !en.inParallel &&
-		rs.pool.Workers() != 1 && hi >= lo
-	if !parallel {
+	if rs.pool == nil || en.inParallel || rs.pool.Workers() == 1 {
+		// Sequential execution of the collapsed nest: walk the linear
+		// space odometer-style, innermost dimension fastest.
+		for d := 0; d < ndim; d++ {
+			fr[st.Dims[d]] = lob[d]
+		}
 		canceled := rs.canceled
-		for i := lo; i <= hi; i++ {
+		for c := int64(0); c < total; c++ {
 			if canceled != nil && canceled.Load() {
 				panic(runtimeError{err: rs.ctx.Err()})
 			}
-			fr[slot] = i
-			p.execFlowchart(en, loop.Body, fr)
+			p.execSteps(en, fr, bodyLo, bodyHi)
+			advance(fr, st.Dims, &lob, &hib)
 		}
 		return
 	}
 
-	// DOALL: collapse a nest of directly nested parallel loops into one
-	// linear iteration space, so a skinny outer DOALL (e.g. the plane of
-	// a §4 wavefront schedule, whose outer parallel range can be much
-	// shorter than the inner one) still yields enough chunks for every
-	// worker. PS subrange bounds depend only on module parameters, so
-	// inner bounds are loop-invariant.
-	type pdim struct {
-		slot int
-		lo   int64
-		n    int64
-	}
-	dims := []pdim{{slot: slot, lo: lo, n: hi - lo + 1}}
-	body := loop.Body
-	total := hi - lo + 1
-	for len(body) == 1 {
-		inner, ok := body[0].(*core.LoopDesc)
-		if !ok || !inner.Parallel {
-			break
-		}
-		b := en.cm.dimBounds[inner.Subrange]
-		ilo, ihi := b[0](en, fr), b[1](en, fr)
-		if ihi < ilo {
-			return // empty inner range: no equation instances at all
-		}
-		dims = append(dims, pdim{slot: en.cm.slotOf[inner.Subrange], lo: ilo, n: ihi - ilo + 1})
-		body = inner.Body
-		total *= ihi - ilo + 1
-	}
-
-	// Each worker uses a private frame and runs any remaining nested
-	// loops sequentially. The linear index decomposes with the innermost
-	// dimension fastest, preserving row-major locality. Panics (runtime
-	// failures in workers) are captured once and re-raised on the caller;
-	// the pool stops claiming chunks when the run's context fires.
+	// Parallel dispatch. Each chunk borrows pooled worker state (env +
+	// frame) instead of allocating, decomposes its start index once, and
+	// advances the frame odometer-style — no div/mod per iteration.
+	// Panics (runtime failures in workers) are captured once and
+	// re-raised on the caller; the pool stops claiming chunks when the
+	// run's context fires.
 	var panicOnce sync.Once
 	var panicked any
-	base := en.eqCount
+	cm := en.cm
+	leaf := st.Leaf
 	completed := rs.pool.ForRangesOpts(rs.cancelChan(), 0, total-1, rs.opts.Grain, func(start, end int64) {
-		sub := *en
+		ws, _ := cm.ws.Get().(*workerState)
+		if ws == nil {
+			ws = &workerState{}
+		}
+		if cap(ws.fr) < len(fr) {
+			ws.fr = make([]int64, len(fr))
+		}
+		wfr := ws.fr[:len(fr)]
+		copy(wfr, fr)
+		ws.en = *en
+		sub := &ws.en
 		sub.inParallel = true
+		sub.eqCount = 0
 		defer func() {
 			if rs.stats != nil {
 				rs.stats.Chunks.Add(1)
-				rs.stats.EqInstances.Add(sub.eqCount - base)
+				rs.stats.EqInstances.Add(sub.eqCount)
 			}
 			if r := recover(); r != nil {
 				switch e := r.(type) {
 				case runtimeError:
 					if e.eq == "" {
-						e.eq = sub.curEq
+						e.eq = sub.eqLabel()
 					}
 					panicOnce.Do(func() { panicked = e })
 				case value.Error:
-					panicOnce.Do(func() { panicked = runtimeError{err: e, eq: sub.curEq} })
+					panicOnce.Do(func() { panicked = runtimeError{err: e, eq: sub.eqLabel()} })
 				default:
 					panicOnce.Do(func() { panicked = r })
 				}
 			}
+			cm.ws.Put(ws)
 		}()
-		frCopy := make([]int64, len(fr))
-		copy(frCopy, fr)
-		for li := start; li <= end; li++ {
-			rem := li
-			for d := len(dims) - 1; d >= 0; d-- {
-				frCopy[dims[d].slot] = dims[d].lo + rem%dims[d].n
-				rem /= dims[d].n
+		rem := start
+		for d := ndim - 1; d >= 0; d-- {
+			n := hib[d] - lob[d] + 1
+			wfr[st.Dims[d]] = lob[d] + rem%n
+			rem /= n
+		}
+		if leaf {
+			// Leaf fast path: the body is equation steps only, so run the
+			// kernels directly without re-entering the step dispatcher.
+			kernels := sub.cp.kernels
+			steps := sub.cp.pl.Steps
+			for li := start; ; li++ {
+				for k := bodyLo; k < bodyHi; k++ {
+					eqi := steps[k].Eq
+					sub.curEq = int32(eqi)
+					sub.eqCount++
+					kernels[eqi](sub, wfr)
+				}
+				if li == end {
+					break
+				}
+				advance(wfr, st.Dims, &lob, &hib)
 			}
-			p.execFlowchart(&sub, body, frCopy)
+			return
+		}
+		for li := start; ; li++ {
+			p.execSteps(sub, wfr, bodyLo, bodyHi)
+			if li == end {
+				break
+			}
+			advance(wfr, st.Dims, &lob, &hib)
 		}
 	})
 	if panicked != nil {
@@ -490,5 +568,19 @@ func (p *Program) execLoop(en *env, loop *core.LoopDesc, fr []int64) {
 	}
 	if !completed {
 		panic(runtimeError{err: rs.ctx.Err()})
+	}
+}
+
+// advance steps the frame one point through a collapsed iteration space,
+// innermost dimension fastest with carry into the outer ones. Every
+// collapsed path — sequential and both chunk walkers — must move the
+// frame identically, so they all share this helper.
+func advance(fr []int64, dims []int, lob, hib *[plan.MaxCollapse]int64) {
+	for d := len(dims) - 1; d >= 0; d-- {
+		slot := dims[d]
+		if fr[slot]++; fr[slot] <= hib[d] {
+			return
+		}
+		fr[slot] = lob[d]
 	}
 }

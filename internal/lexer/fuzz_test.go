@@ -1,0 +1,37 @@
+package lexer_test
+
+import (
+	"testing"
+
+	"repro/internal/lexer"
+	"repro/internal/source"
+)
+
+// FuzzLex drains the token stream for arbitrary input: the lexer must
+// terminate (every Next call makes progress to EOF) and never panic,
+// whatever bytes arrive.
+func FuzzLex(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"Relaxation: module (InitialA: array[I,J] of real; M: int): [newA: array [I,J] of real];",
+		"(* comment *) 1.5e-3 'c' \"str\" .. <= <> := div mod",
+		"(*$m+v+x+t-*)",
+		"(* unterminated",
+		"\"unterminated",
+		"'",
+		"1e999 0x 9..10",
+		"\x00\xff\xfe invalid utf8 \x80",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		var errs source.ErrorList
+		l := lexer.New("fuzz.ps", src, &errs)
+		// All drains to EOF; bound the token count to catch any
+		// non-progress bug as a failure instead of a hang.
+		toks := l.All()
+		if len(toks) > len(src)+2 {
+			t.Fatalf("lexer produced %d tokens from %d bytes", len(toks), len(src))
+		}
+	})
+}

@@ -1,0 +1,318 @@
+// Package plan defines the flat loop-program IR both execution backends
+// consume. A plan is lowered exactly once per (module, options) from the
+// core scheduler's flowchart: loops are resolved to frame slots, directly
+// nested DOALL loops are collapsed into one multi-dimensional parallel
+// step, loop fusion (the §5 extension) is applied at lowering time, and
+// every equation is assigned a kernel index. Backends — the interpreter
+// and the C generator — walk the flat step array instead of re-analyzing
+// `core.Flowchart` descriptors on every activation, which keeps the
+// per-iteration execution path free of map lookups and descriptor type
+// switches.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/sem"
+	"repro/internal/types"
+)
+
+// Op is a plan instruction opcode.
+type Op uint8
+
+const (
+	// OpEq executes one equation kernel at the current index frame.
+	OpEq Op = iota
+	// OpDo is a sequential (iterative) loop over one subrange.
+	OpDo
+	// OpDoAll is a parallel loop: one or more collapsed DOALL dimensions
+	// forming a single linear iteration space.
+	OpDoAll
+)
+
+// String names the opcode.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "eq"
+	case OpDo:
+		return "do"
+	case OpDoAll:
+		return "doall"
+	}
+	return "?"
+}
+
+// Bound is one subrange of the module: its inclusive lo/hi bound
+// expressions (the "bound thunks" backends compile once) and, by its
+// position in Program.Bounds, the frame slot its index variable occupies.
+type Bound struct {
+	Subrange *types.Subrange
+	Lo, Hi   ast.Expr
+}
+
+// Step is one flat plan instruction. Loop steps own the contiguous range
+// of body steps Steps[i+1:End]; executors iterate a step slice and skip
+// to End after running a loop, so the program needs no pointer chasing.
+type Step struct {
+	Op Op
+	// Eq indexes Program.Eqs for OpEq steps.
+	Eq int
+	// Dims lists the frame slots this loop iterates, outermost first.
+	// OpDo always has exactly one; OpDoAll has one per collapsed
+	// dimension of the nest.
+	Dims []int
+	// End is one past the last body step for loop ops (body is
+	// Steps[i+1:End]); meaningless for OpEq.
+	End int
+	// Leaf marks a DOALL whose body is equation steps only, letting
+	// executors run the collapsed iteration space without re-entering the
+	// step dispatcher per point.
+	Leaf bool
+}
+
+// Program is the lowered loop program for one module variant.
+type Program struct {
+	// Module is the source module's name.
+	Module string
+	// Fused records whether §5 loop fusion was applied at lowering.
+	Fused bool
+	// Bounds lists every subrange of the module in declaration order.
+	// The index of a bound is the frame slot of its loop variable, so a
+	// frame is []int64 of length len(Bounds).
+	Bounds []Bound
+	// Steps is the flat loop program in pre-order.
+	Steps []Step
+	// Eqs is the kernel table: OpEq steps index it.
+	Eqs []*sem.Equation
+	// Virtual carries the §3.4 window-allocatable dimensions through to
+	// the backends.
+	Virtual []core.VirtualDim
+}
+
+// NSlots returns the index-frame length plans of this module require.
+func (p *Program) NSlots() int { return len(p.Bounds) }
+
+// Windows resolves the Virtual report into a per-symbol window table
+// (dimension index → plane count), the form both backends consume when
+// allocating arrays.
+func (p *Program) Windows() map[*sem.Symbol]map[int]int {
+	win := make(map[*sem.Symbol]map[int]int)
+	for _, v := range p.Virtual {
+		if win[v.Sym] == nil {
+			win[v.Sym] = make(map[int]int)
+		}
+		win[v.Sym][v.Dim] = v.Window
+	}
+	return win
+}
+
+// MaxCollapse bounds the number of dimensions folded into one DOALL
+// step, matching the executors' fixed-size per-dimension buffers.
+const MaxCollapse = 8
+
+// Options select the plan variant to lower.
+type Options struct {
+	// Fuse applies §5 loop fusion to the flowchart before lowering.
+	Fuse bool
+}
+
+// Lower flattens a module's schedule into an executable plan. It is the
+// single point where flowchart descriptors are interpreted; backends
+// must consume the returned Program instead of the flowchart.
+func Lower(m *sem.Module, sched *core.Schedule, opts Options) *Program {
+	p := &Program{Module: m.Name, Fused: opts.Fuse, Virtual: sched.Virtual}
+	lw := &lowerer{p: p, slot: make(map[*types.Subrange]int, len(m.Subranges))}
+	for i, info := range m.Subranges {
+		lw.slot[info.Type] = i
+		p.Bounds = append(p.Bounds, Bound{Subrange: info.Type, Lo: info.Type.Lo, Hi: info.Type.Hi})
+	}
+	fc := sched.Flowchart
+	if opts.Fuse {
+		fc = core.Fuse(fc)
+	}
+	lw.lower(fc)
+	return p
+}
+
+// lowerer carries lowering state for one Lower call.
+type lowerer struct {
+	p     *Program
+	slot  map[*types.Subrange]int
+	eqIdx map[*sem.Equation]int
+}
+
+func (lw *lowerer) lower(fc core.Flowchart) {
+	for _, d := range fc {
+		switch x := d.(type) {
+		case *core.NodeDesc:
+			if x.Node.Eq != nil {
+				lw.p.Steps = append(lw.p.Steps, Step{Op: OpEq, Eq: lw.kernel(x.Node.Eq)})
+			}
+		case *core.LoopDesc:
+			lw.lowerLoop(x)
+		}
+	}
+}
+
+// slotOf resolves a scheduled subrange to its frame slot; every loop
+// dimension must come from the module's subrange table.
+func (lw *lowerer) slotOf(sr *types.Subrange) int {
+	s, ok := lw.slot[sr]
+	if !ok {
+		panic(fmt.Sprintf("plan: module %s schedules unknown subrange %s", lw.p.Module, sr.Name))
+	}
+	return s
+}
+
+// kernel interns an equation into the kernel table.
+func (lw *lowerer) kernel(eq *sem.Equation) int {
+	if lw.eqIdx == nil {
+		lw.eqIdx = make(map[*sem.Equation]int)
+	}
+	if i, ok := lw.eqIdx[eq]; ok {
+		return i
+	}
+	i := len(lw.p.Eqs)
+	lw.eqIdx[eq] = i
+	lw.p.Eqs = append(lw.p.Eqs, eq)
+	return i
+}
+
+// lowerLoop emits one loop step. A parallel loop whose body is exactly
+// one nested parallel loop collapses into a single multi-dimensional
+// DOALL — the dimension flattening the interpreter used to rediscover on
+// every activation. PS subrange bounds depend only on module scalars, so
+// inner bounds are loop-invariant and the collapse is always legal.
+func (lw *lowerer) lowerLoop(l *core.LoopDesc) {
+	dims := []int{lw.slotOf(l.Subrange)}
+	body := l.Body
+	op := OpDo
+	if l.Parallel {
+		op = OpDoAll
+		for len(body) == 1 && len(dims) < MaxCollapse {
+			inner, ok := body[0].(*core.LoopDesc)
+			if !ok || !inner.Parallel {
+				break
+			}
+			dims = append(dims, lw.slotOf(inner.Subrange))
+			body = inner.Body
+		}
+	}
+	self := len(lw.p.Steps)
+	lw.p.Steps = append(lw.p.Steps, Step{Op: op, Dims: dims})
+	lw.lower(body)
+	st := &lw.p.Steps[self]
+	st.End = len(lw.p.Steps)
+	if op == OpDoAll && st.End > self+1 {
+		st.Leaf = true
+		for i := self + 1; i < st.End; i++ {
+			if lw.p.Steps[i].Op != OpEq {
+				st.Leaf = false
+				break
+			}
+		}
+	}
+}
+
+// dimNames joins the subrange names of a loop step's dimensions.
+func (p *Program) dimNames(st *Step) string {
+	names := make([]string, len(st.Dims))
+	for i, s := range st.Dims {
+		names[i] = p.Bounds[s].Subrange.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// String renders the plan as an indented listing — the artifact
+// `psrun -explain` and Runner.Explain print:
+//
+//	plan Relaxation (5 steps, 3 slots)
+//	  bounds: I = 0 .. M+1 [slot 0]; ...
+//	  virtual: A dim 1 window 2 (K)
+//	   0: doall I, J collapse(2) leaf
+//	   1:   eq.1 -> A  [kernel 0]
+//	   ...
+func (p *Program) String() string {
+	var sb strings.Builder
+	variant := ""
+	if p.Fused {
+		variant = ", fused"
+	}
+	fmt.Fprintf(&sb, "plan %s (%d steps, %d slots%s)\n", p.Module, len(p.Steps), len(p.Bounds), variant)
+	for i, b := range p.Bounds {
+		fmt.Fprintf(&sb, "  bound %s = %s .. %s [slot %d]\n",
+			b.Subrange.Name, ast.ExprString(b.Lo), ast.ExprString(b.Hi), i)
+	}
+	for _, v := range p.Virtual {
+		fmt.Fprintf(&sb, "  virtual %s dim %d window %d (%s)\n",
+			v.Sym.Name, v.Dim+1, v.Window, v.Subrange.Name)
+	}
+	depth := make([]int, 0, 4) // stack of End indices for indentation
+	for i, st := range p.Steps {
+		for len(depth) > 0 && i >= depth[len(depth)-1] {
+			depth = depth[:len(depth)-1]
+		}
+		fmt.Fprintf(&sb, "%4d: %s", i, strings.Repeat("    ", len(depth)))
+		switch st.Op {
+		case OpEq:
+			eq := p.Eqs[st.Eq]
+			targets := make([]string, len(eq.Targets))
+			for j, t := range eq.Targets {
+				targets[j] = t.Sym.Name
+			}
+			fmt.Fprintf(&sb, "%s -> %s  [kernel %d]\n", eq.Label, strings.Join(targets, ", "), st.Eq)
+		case OpDo:
+			fmt.Fprintf(&sb, "do %s\n", p.dimNames(&st))
+			depth = append(depth, st.End)
+		case OpDoAll:
+			fmt.Fprintf(&sb, "doall %s", p.dimNames(&st))
+			if len(st.Dims) > 1 {
+				fmt.Fprintf(&sb, " collapse(%d)", len(st.Dims))
+			}
+			if st.Leaf {
+				sb.WriteString(" leaf")
+			}
+			sb.WriteByte('\n')
+			depth = append(depth, st.End)
+		}
+	}
+	return sb.String()
+}
+
+// Compact renders the loop program on one line in the flowchart's
+// Figure 6 style, with collapsed DOALL nests joined by "×":
+// "DOALL I×J (eq.1); DO K (DOALL I×J (eq.3)); ...".
+func (p *Program) Compact() string {
+	s, _ := p.compactRange(0, len(p.Steps))
+	return s
+}
+
+func (p *Program) compactRange(lo, hi int) (string, int) {
+	var parts []string
+	i := lo
+	for i < hi {
+		st := &p.Steps[i]
+		switch st.Op {
+		case OpEq:
+			parts = append(parts, p.Eqs[st.Eq].Label)
+			i++
+		default:
+			kw := "DO"
+			if st.Op == OpDoAll {
+				kw = "DOALL"
+			}
+			names := make([]string, len(st.Dims))
+			for j, s := range st.Dims {
+				names[j] = p.Bounds[s].Subrange.Name
+			}
+			body, _ := p.compactRange(i+1, st.End)
+			parts = append(parts, fmt.Sprintf("%s %s (%s)", kw, strings.Join(names, "×"), body))
+			i = st.End
+		}
+	}
+	return strings.Join(parts, "; "), i
+}

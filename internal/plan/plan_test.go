@@ -1,0 +1,142 @@
+package plan_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/depgraph"
+	"repro/internal/parser"
+	"repro/internal/plan"
+	"repro/internal/psrc"
+	"repro/internal/sem"
+)
+
+func lower(t *testing.T, src, modName string, opts plan.Options) *plan.Program {
+	t.Helper()
+	prog, err := parser.ParseProgram("t.ps", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cp, err := sem.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	m := cp.Module(modName)
+	if modName == "" {
+		m = cp.Modules[len(cp.Modules)-1]
+	}
+	sched, err := core.Build(depgraph.Build(m))
+	if err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	return plan.Lower(m, sched, opts)
+}
+
+// TestLowerRelaxation checks the Figure 6 schedule lowers to collapsed
+// DOALL planes inside a sequential K loop, with resolved slots.
+func TestLowerRelaxation(t *testing.T) {
+	p := lower(t, psrc.Relaxation, "Relaxation", plan.Options{})
+	got := p.Compact()
+	want := "DOALL I×J (eq.1); DO K (DOALL I×J (eq.3)); DOALL I×J (eq.2)"
+	if got != want {
+		t.Errorf("Compact = %q, want %q", got, want)
+	}
+	// I, J, K plus the subrange synthesized for A's anonymous 1..maxK
+	// dimension.
+	if p.NSlots() != 4 {
+		t.Errorf("NSlots = %d, want 4", p.NSlots())
+	}
+	// The DOALL plane inside DO K must be a collapsed 2-dim leaf.
+	var inner *plan.Step
+	for i := range p.Steps {
+		st := &p.Steps[i]
+		if st.Op == plan.OpDoAll && len(st.Dims) == 2 {
+			inner = st
+			break
+		}
+	}
+	if inner == nil {
+		t.Fatal("no collapsed 2-dim DOALL step")
+	}
+	if !inner.Leaf {
+		t.Error("collapsed DOALL plane not marked leaf")
+	}
+	// Slots must be distinct and in range.
+	seen := map[int]bool{}
+	for _, s := range inner.Dims {
+		if s < 0 || s >= p.NSlots() || seen[s] {
+			t.Errorf("bad slot %d in %v", s, inner.Dims)
+		}
+		seen[s] = true
+	}
+	// Virtual dimension report is carried through.
+	if len(p.Virtual) == 0 {
+		t.Error("plan lost the virtual-dimension report")
+	}
+}
+
+// TestLowerGaussSeidel checks the Figure 7 recurrence lowers to three
+// nested sequential DO loops (its in-plane dependences forbid DOALLs).
+func TestLowerGaussSeidel(t *testing.T) {
+	p := lower(t, psrc.RelaxationGS, "Relaxation", plan.Options{})
+	if got, want := p.Compact(), "DO K (DO I (DO J (eq.3)))"; !strings.Contains(got, want) {
+		t.Errorf("Compact = %q, want substring %q", got, want)
+	}
+}
+
+// TestLowerFused checks fusion is applied at lowering time: the four
+// element-wise chain loops merge into one collapsed DOALL.
+func TestLowerFused(t *testing.T) {
+	const src = `
+Chain: module (Xs: array[I] of real; N: int):
+    [As: array [I] of real; Bs: array [I] of real];
+type I = 0 .. N;
+define
+    As[I] = Xs[I] * 2.0 + 1.0;
+    Bs[I] = As[I] * As[I];
+end Chain;
+`
+	base := lower(t, src, "Chain", plan.Options{})
+	fused := lower(t, src, "Chain", plan.Options{Fuse: true})
+	if !fused.Fused {
+		t.Error("fused plan not marked Fused")
+	}
+	countLoops := func(p *plan.Program) int {
+		n := 0
+		for _, st := range p.Steps {
+			if st.Op != plan.OpEq {
+				n++
+			}
+		}
+		return n
+	}
+	if b, f := countLoops(base), countLoops(fused); f >= b {
+		t.Errorf("fusion did not reduce loop count: base %d, fused %d", b, f)
+	}
+	if got, want := fused.Compact(), "DOALL I (eq.1; eq.2)"; got != want {
+		t.Errorf("fused Compact = %q, want %q", got, want)
+	}
+}
+
+// TestStepRanges verifies the flat encoding invariants: loop bodies are
+// contiguous, properly nested, and End always moves forward.
+func TestStepRanges(t *testing.T) {
+	for _, src := range []string{psrc.Relaxation, psrc.RelaxationGS, psrc.Prefix, psrc.Wavefront2D} {
+		p := lower(t, src, "", plan.Options{})
+		for i, st := range p.Steps {
+			if st.Op == plan.OpEq {
+				if st.Eq < 0 || st.Eq >= len(p.Eqs) {
+					t.Errorf("step %d: kernel index %d out of range", i, st.Eq)
+				}
+				continue
+			}
+			if st.End <= i || st.End > len(p.Steps) {
+				t.Errorf("step %d: End %d out of range", i, st.End)
+			}
+			if len(st.Dims) == 0 {
+				t.Errorf("step %d: loop with no dims", i)
+			}
+		}
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"repro/internal/hyperplane"
 	"repro/internal/interp"
 	"repro/internal/parser"
+	"repro/internal/plan"
 	"repro/internal/sem"
 	"repro/internal/types"
 	"repro/internal/value"
@@ -79,6 +80,9 @@ type Module struct {
 	sem   *sem.Module
 	graph *depgraph.Graph
 	sched *core.Schedule
+	// pl is the base lowered loop plan — the artifact both the
+	// interpreter and the C generator execute.
+	pl *plan.Program
 }
 
 // CompileProgram parses, checks and schedules every module of a PS source
@@ -111,6 +115,7 @@ func compileProgram(eng *Engine, name, source string) (*Program, error) {
 			sem:   m,
 			graph: ip.Scheds[m].Graph,
 			sched: ip.Scheds[m],
+			pl:    ip.Plan(m.Name, false),
 		}
 	}
 	return p, nil
@@ -192,6 +197,22 @@ func (m *Module) FlowchartCompact() string { return m.sched.Flowchart.Compact() 
 // loops over the same subrange merged when dependences permit.
 func (m *Module) FlowchartFused() string { return core.Fuse(m.sched.Flowchart).Compact() }
 
+// Plan returns the lowered loop program — the flat, slot-resolved IR
+// both the interpreter and the C generator consume — rendered as an
+// indented listing (`psrun -explain` prints the same artifact). Loops
+// are resolved to frame slots, directly nested DOALLs are collapsed,
+// and every equation carries its kernel index.
+func (m *Module) Plan() string { return m.pl.String() }
+
+// PlanCompact returns the lowered loop program on one line, e.g.
+// "DOALL I×J (eq.1); DO K (DOALL I×J (eq.3)); DOALL I×J (eq.2)".
+func (m *Module) PlanCompact() string { return m.pl.Compact() }
+
+// PlanFused returns the loop-fused plan variant's listing.
+func (m *Module) PlanFused() string {
+	return m.prog.ip.Plan(m.sem.Name, true).String()
+}
+
 // GraphListing returns the dependency graph as text (Figure 3).
 func (m *Module) GraphListing() string { return m.graph.Listing() }
 
@@ -238,9 +259,10 @@ func (m *Module) VirtualDims() []VirtualDim {
 type CGenOptions = cgen.Options
 
 // GenerateC emits the module as a C translation unit with annotated
-// DO/DOALL loops, the paper's output artifact.
+// DO/DOALL loops, the paper's output artifact. The generator consumes
+// the same lowered plan the interpreter executes.
 func (m *Module) GenerateC(opts CGenOptions) (string, error) {
-	return cgen.Generate(m.sem, m.sched, opts)
+	return cgen.Generate(m.sem, m.pl, opts)
 }
 
 // Hyperplane is the result of the §4 analysis and transformation of one

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/interp"
@@ -68,6 +69,35 @@ func (p *Program) Prepare(module string, opts ...RunOption) (*Runner, error) {
 
 // Module returns the module this runner activates.
 func (r *Runner) Module() *Module { return r.mod }
+
+// Explain renders the exact loop program this runner executes: a header
+// with the execution mode (workers, grain, strictness, variant) followed
+// by the lowered plan listing. It is the API form of `psrun -explain`.
+func (r *Runner) Explain() string {
+	var sb strings.Builder
+	o := r.opts
+	o.Pool = r.pool // mirror Run's pool binding for the worker count
+	mode := fmt.Sprintf("%d workers", effectiveWorkers(o))
+	if r.opts.Sequential {
+		mode = "sequential"
+	}
+	if r.opts.Grain > 0 {
+		mode += fmt.Sprintf(", grain %d", r.opts.Grain)
+	}
+	if r.opts.Strict {
+		mode += ", strict"
+	}
+	if r.opts.NoVirtual {
+		mode += ", no-virtual"
+	}
+	variant := "base plan"
+	if r.opts.Fuse {
+		variant = "fused plan"
+	}
+	fmt.Fprintf(&sb, "runner %s: %s, %s\n", r.mod.Name(), mode, variant)
+	sb.WriteString(r.prog.ip.Plan(r.mod.sem.Name, r.opts.Fuse).String())
+	return sb.String()
+}
 
 // Run executes the module with positional arguments. Scalar arguments
 // are Go ints, float64s, bools or strings; array arguments are

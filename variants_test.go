@@ -1,0 +1,189 @@
+// Variant parity tests: every program in testdata/ and the psrc corpus
+// (the sources the examples run) must produce identical results under
+// every execution variant — sequential, parallel at several widths and
+// grains, loop-fused, strict, and with virtual windows ablated. The
+// sequential run is the reference; all others are compared element for
+// element through the JSON encoding. Run under -race (CI does) this also
+// shakes out data races in the DOALL dispatch path.
+package repro
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/psrc"
+	"repro/ps"
+)
+
+// variantProgram is one source + module + concrete arguments.
+type variantProgram struct {
+	name   string
+	src    string
+	module string
+	args   []any
+}
+
+func grid2D(m int64) *ps.Array {
+	a := ps.NewRealArray(ps.Axis{Lo: 0, Hi: m + 1}, ps.Axis{Lo: 0, Hi: m + 1})
+	for i := int64(0); i <= m+1; i++ {
+		for j := int64(0); j <= m+1; j++ {
+			var v float64
+			if i > 0 && i <= m && j > 0 && j <= m {
+				v = float64((i*31+j*17)%19) / 19.0
+			}
+			a.SetF([]int64{i, j}, v)
+		}
+	}
+	return a
+}
+
+func vector(lo, hi int64) *ps.Array {
+	a := ps.NewRealArray(ps.Axis{Lo: lo, Hi: hi})
+	for i := lo; i <= hi; i++ {
+		a.SetF([]int64{i}, float64((i*13+5)%23)/7.0)
+	}
+	return a
+}
+
+func mustRead(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func variantPrograms(t *testing.T) []variantProgram {
+	t.Helper()
+	return []variantProgram{
+		{"testdata/relaxation", mustRead(t, "testdata/relaxation.ps"), "Relaxation",
+			[]any{grid2D(6), int64(6), int64(5)}},
+		{"testdata/gauss_seidel", mustRead(t, "testdata/gauss_seidel.ps"), "Relaxation",
+			[]any{grid2D(6), int64(6), int64(5)}},
+		{"testdata/smooth", mustRead(t, "testdata/smooth.ps"), "Smooth",
+			[]any{vector(0, 17), int64(16)}},
+		{"psrc/Relaxation", psrc.Relaxation, "Relaxation",
+			[]any{grid2D(5), int64(5), int64(4)}},
+		{"psrc/RelaxationGS", psrc.RelaxationGS, "Relaxation",
+			[]any{grid2D(5), int64(5), int64(4)}},
+		{"psrc/Heat1D", psrc.Heat1D, "Heat1D",
+			[]any{vector(0, 13), int64(12), int64(6), 0.1}},
+		{"psrc/Prefix", psrc.Prefix, "Prefix",
+			[]any{vector(1, 20), int64(20)}},
+		{"psrc/Smooth", psrc.Smooth, "Smooth",
+			[]any{vector(0, 17), int64(16)}},
+		{"psrc/Pipeline", psrc.Pipeline, "Pipeline",
+			[]any{vector(0, 17), int64(16)}},
+		{"psrc/Wavefront2D", psrc.Wavefront2D, "Wavefront2D",
+			[]any{grid2D(7), int64(7)}},
+	}
+}
+
+// TestVariantParity asserts that every execution variant of every corpus
+// program matches its sequential reference exactly.
+func TestVariantParity(t *testing.T) {
+	variants := []struct {
+		name string
+		opts []ps.RunOption
+	}{
+		{"Par1", []ps.RunOption{ps.Workers(1)}},
+		{"Par4", []ps.RunOption{ps.Workers(4)}},
+		{"Par3Grain8", []ps.RunOption{ps.Workers(3), ps.Grain(8)}},
+		{"FusedSeq", []ps.RunOption{ps.Sequential(), ps.Fused()}},
+		{"FusedPar4", []ps.RunOption{ps.Workers(4), ps.Fused()}},
+		{"StrictSeq", []ps.RunOption{ps.Sequential(), ps.Strict()}},
+		{"NoVirtualSeq", []ps.RunOption{ps.Sequential(), ps.NoVirtual()}},
+		{"NoVirtualPar4", []ps.RunOption{ps.Workers(4), ps.NoVirtual()}},
+	}
+	for _, tp := range variantPrograms(t) {
+		t.Run(tp.name, func(t *testing.T) {
+			prog, err := ps.CompileProgram(tp.name+".ps", tp.src)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			ref, err := prog.Run(tp.module, tp.args, ps.Sequential())
+			if err != nil {
+				t.Fatalf("sequential reference: %v", err)
+			}
+			want, err := ps.ResultsToJSON(prog, tp.module, ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range variants {
+				v := v
+				t.Run(v.name, func(t *testing.T) {
+					res, err := prog.Run(tp.module, tp.args, v.opts...)
+					if err != nil {
+						t.Fatalf("%s: %v", v.name, err)
+					}
+					got, err := ps.ResultsToJSON(prog, tp.module, res)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("%s diverges from sequential reference:\ngot  %v\nwant %v", v.name, got, want)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestVariantParityConcurrent runs the parallel fused variant of every
+// corpus program from several goroutines over one shared prepared
+// Runner, the service shape; under -race this guards the pooled
+// worker-state reuse introduced with the plan executor.
+func TestVariantParityConcurrent(t *testing.T) {
+	eng := ps.NewEngine(ps.EngineWorkers(4))
+	defer eng.Close()
+	for _, tp := range variantPrograms(t) {
+		tp := tp
+		t.Run(tp.name, func(t *testing.T) {
+			prog, err := eng.Compile(tp.name+".ps", tp.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqRef, err := prog.Run(tp.module, tp.args, ps.Sequential())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ps.ResultsToJSON(prog, tp.module, seqRef)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run, err := prog.Prepare(tp.module)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const goroutines = 4
+			errc := make(chan error, goroutines)
+			for g := 0; g < goroutines; g++ {
+				go func() {
+					res, _, err := run.Run(nil, tp.args)
+					if err != nil {
+						errc <- err
+						return
+					}
+					got, err := ps.ResultsToJSON(prog, tp.module, res)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if !reflect.DeepEqual(got, want) {
+						errc <- fmt.Errorf("concurrent run diverges from sequential reference")
+						return
+					}
+					errc <- nil
+				}()
+			}
+			for g := 0; g < goroutines; g++ {
+				if err := <-errc; err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	}
+}
