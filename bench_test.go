@@ -289,6 +289,85 @@ func benchDOALL(b *testing.B, file, module string) {
 	}
 }
 
+// BenchmarkWavefront_GaussSeidel measures the automatic §4 pass on the
+// testdata Gauss–Seidel module: Seq is the all-iterative baseline the
+// Figure 7 schedule admits, HyperOffParN shows that workers cannot help
+// the untransformed nest, and AutoParN runs the compiler-generated
+// wavefront plan at increasing widths — the speedup the tentpole claims.
+func BenchmarkWavefront_GaussSeidel(b *testing.B) {
+	sizes := []struct {
+		name    string
+		m, maxK int64
+	}{{"Small", 24, 4}, {"Large", 96, 6}}
+	benchWavefront(b, "testdata/gauss_seidel.ps", "Relaxation", func(m, maxK int64) []any {
+		return []any{benchGrid(m), m, maxK}
+	}, sizes)
+}
+
+// BenchmarkWavefront_SkewStencil is the same measurement on the 2-D
+// skewed stencil, whose single sweep is entirely sequential without the
+// transform.
+func BenchmarkWavefront_SkewStencil(b *testing.B) {
+	sizes := []struct {
+		name    string
+		m, maxK int64
+	}{{"Small", 32, 0}, {"Large", 192, 0}}
+	benchWavefront(b, "testdata/skew_stencil.ps", "SkewStencil", func(n, _ int64) []any {
+		return []any{benchGrid(n), n}
+	}, sizes)
+}
+
+// benchWavefront runs one dependence-carrying module through an Engine
+// at Small/Large sizes under Seq, HyperOff×workers and Auto×workers.
+func benchWavefront(b *testing.B, file, module string, argsFor func(m, maxK int64) []any,
+	sizes []struct {
+		name    string
+		m, maxK int64
+	}) {
+	b.Helper()
+	src, err := os.ReadFile(file)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := ps.NewEngine()
+	defer eng.Close()
+	prog, err := eng.Compile(file, string(src))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, sz := range sizes {
+		args := argsFor(sz.m, sz.maxK)
+		run := func(b *testing.B, opts ...ps.RunOption) {
+			b.Helper()
+			r, err := prog.Prepare(module, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := r.Run(ctx, args); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.Run(sz.name+"/Seq", func(b *testing.B) { run(b, ps.Sequential()) })
+		workers := []int{2}
+		for w := 4; w <= runtime.NumCPU(); w *= 2 {
+			workers = append(workers, w)
+		}
+		for _, w := range workers {
+			w := w
+			b.Run(fmt.Sprintf("%s/HyperOffPar%d", sz.name, w), func(b *testing.B) {
+				run(b, ps.Workers(w), ps.WithHyperplane(ps.HyperplaneOff))
+			})
+			b.Run(fmt.Sprintf("%s/AutoPar%d", sz.name, w), func(b *testing.B) {
+				run(b, ps.Workers(w))
+			})
+		}
+	}
+}
+
 // --- native references ----------------------------------------------------
 
 // nativeGS runs the Gauss–Seidel recurrence directly in Go, sequentially,

@@ -5,12 +5,14 @@
 // Usage:
 //
 //	psc [-module name] [-dump c|flowchart|plan|components|graph|dot|virtual|source]
-//	    [-openmp] [-no-virtual] [-transform eq.N] file.ps
+//	    [-openmp] [-no-virtual] [-hyperplane auto|off] [-transform eq.N] file.ps
 //
 // Examples:
 //
 //	psc -dump flowchart relaxation.ps      # Figure 6
 //	psc -dump plan relaxation.ps           # lowered loop plan (shared IR)
+//	psc -dump plan gs.ps                   # §4 auto-hyperplane wavefront step (π, window)
+//	psc -dump plan -hyperplane off gs.ps   # the untransformed DO nest
 //	psc -dump c -openmp relaxation.ps      # annotated C with OpenMP pragmas
 //	psc -transform eq.3 gs.ps              # §4 hyperplane-transformed source
 package main
@@ -28,8 +30,20 @@ func main() {
 	dump := flag.String("dump", "c", "what to emit: c, flowchart, plan, components, graph, dot, virtual, source")
 	openmp := flag.Bool("openmp", false, "emit #pragma omp parallel for above DOALL loops")
 	noVirtual := flag.Bool("no-virtual", false, "allocate every dimension physically")
+	hyper := flag.String("hyperplane", "auto", "automatic §4 wavefront restructuring of eligible sequential nests: auto or off")
 	transform := flag.String("transform", "", "apply the §4 hyperplane transformation to the named equation and emit the rewritten PS source")
 	flag.Parse()
+
+	var planOpts ps.PlanOptions
+	switch *hyper {
+	case "auto":
+		planOpts.Hyperplane = ps.HyperplaneAuto
+	case "off":
+		planOpts.Hyperplane = ps.HyperplaneOff
+	default:
+		fmt.Fprintf(os.Stderr, "psc: invalid -hyperplane %q (want auto or off)\n", *hyper)
+		os.Exit(2)
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: psc [flags] file.ps")
@@ -70,7 +84,7 @@ func main() {
 
 	switch *dump {
 	case "c":
-		c, err := m.GenerateC(ps.CGenOptions{OpenMP: *openmp, NoVirtual: *noVirtual})
+		c, err := m.GenerateCWith(planOpts, ps.CGenOptions{OpenMP: *openmp, NoVirtual: *noVirtual})
 		if err != nil {
 			fatal(err)
 		}
@@ -78,7 +92,7 @@ func main() {
 	case "flowchart":
 		fmt.Print(m.Flowchart())
 	case "plan":
-		fmt.Print(m.Plan())
+		fmt.Print(m.PlanWith(planOpts))
 	case "components":
 		for i, c := range m.Components() {
 			fmt.Printf("component %d: %s\n", i+1, c)

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	psrun [-module name] [-workers N] [-seq] [-strict] [-grain N]
-//	      [-fused] [-timeout d] [-stats] [-explain] [-in inputs.json] file.ps
+//	      [-fused] [-hyperplane auto|off] [-timeout d] [-stats] [-explain]
+//	      [-in inputs.json] file.ps
 //
 // The input file maps parameter names to values: scalars as JSON numbers
 // or booleans, arrays as (nested) JSON lists. Array parameter bounds are
@@ -43,6 +44,7 @@ func main() {
 	strict := flag.Bool("strict", false, "enable single-assignment checking")
 	grain := flag.Int64("grain", 0, "minimum iterations per parallel chunk")
 	fused := flag.Bool("fused", false, "execute the loop-fused plan variant (§5)")
+	hyper := flag.String("hyperplane", "auto", "automatic §4 wavefront restructuring of eligible sequential nests: auto or off")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	stats := flag.Bool("stats", false, "print run statistics to stderr")
 	explain := flag.Bool("explain", false, "print the lowered loop plan and exit without running")
@@ -81,6 +83,13 @@ func main() {
 	}
 	if *fused {
 		opts = append(opts, ps.Fused())
+	}
+	switch *hyper {
+	case "auto":
+	case "off":
+		opts = append(opts, ps.WithHyperplane(ps.HyperplaneOff))
+	default:
+		fatalUsage(fmt.Errorf("invalid -hyperplane %q (want auto or off)", *hyper))
 	}
 	run, err := prog.Prepare(name, opts...)
 	if err != nil {

@@ -97,9 +97,27 @@ func main() {
 	}
 	fmt.Printf("  %-36s %10v   (%s)\n", "transformed (parallel wavefront):", parStats.WallTime, parStats)
 
+	// The compiler also applies §4 automatically: a parallel runner on
+	// the *original* module lowers the Figure 7 nest to a wavefront plan
+	// (visible in Explain), with no source rewrite at all.
+	autoRun, err := prog.Prepare("Relaxation")
+	if err != nil {
+		log.Fatal(err)
+	}
+	autoOut, autoStats, err := autoRun.Run(ctx, []any{in, *m, *k})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-36s %10v   (%s)\n", "original (auto-hyperplane):", autoStats.WallTime, autoStats)
+
 	a, b := seqOut[0].(*ps.Array), parOut[0].(*ps.Array)
 	if !a.Equal(b) {
 		log.Fatalf("results differ (max diff %g)", a.MaxAbsDiff(b))
 	}
+	if !a.Equal(autoOut[0].(*ps.Array)) {
+		log.Fatalf("auto-hyperplane result differs (max diff %g)", a.MaxAbsDiff(autoOut[0].(*ps.Array)))
+	}
 	fmt.Println("  identical results ✓")
+	fmt.Println("\n== the automatic decision, as the runner reports it ==")
+	fmt.Print(autoRun.Explain())
 }

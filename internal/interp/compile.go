@@ -39,12 +39,14 @@ type kernelFn func(en *env, fr []int64)
 type compiledModule struct {
 	m     *sem.Module
 	sched *core.Schedule
-	// base and fused are the plan variants (Options.Fuse selects one at
-	// activation time; both are lowered once here, not per run).
-	base  *compiledPlan
-	fused *compiledPlan
+	// plans holds the lowered variants indexed [fuse][hyperplane]
+	// (Options select one at activation time; all are lowered once here,
+	// not per run). Variants that lower identically — a module with no
+	// §4-eligible nest has equal base and auto-hyperplane plans — share
+	// one compiledPlan.
+	plans [2][2]*compiledPlan
 	// slotOf assigns every subrange type a frame slot for its index
-	// value — the plan's Bounds order, shared by both variants. It is
+	// value — the plan's Bounds order, shared by every variant. It is
 	// consulted at compile time only; execution reads slots baked into
 	// plan steps and closures.
 	slotOf map[*types.Subrange]int
@@ -55,18 +57,32 @@ type compiledModule struct {
 	// symIdx numbers all data symbols for the env value table.
 	symIdx map[*sem.Symbol]int
 	syms   []*sem.Symbol
-	// allocs describes the result and local arrays allocated per
-	// activation, with §3.4 windows resolved at compile time.
-	allocs []allocInfo
 	// ws pools per-worker execution state reused across DOALL chunks.
 	ws sync.Pool
 }
 
-// compiledPlan pairs one lowered plan variant with its kernel table,
-// aligned index-for-index with pl.Eqs.
+// variant selects the compiled plan for one (fuse, hyperplane) pair.
+func (cm *compiledModule) variant(fuse, hyper bool) *compiledPlan {
+	fi, hi := 0, 0
+	if fuse {
+		fi = 1
+	}
+	if hyper {
+		hi = 1
+	}
+	return cm.plans[fi][hi]
+}
+
+// compiledPlan pairs one lowered plan variant with its kernel table
+// (aligned index-for-index with pl.Eqs) and the allocation descriptors
+// resolved against the variant's own virtual-dimension report — the
+// auto-hyperplane variants drop windows on transformed subranges.
 type compiledPlan struct {
 	pl      *plan.Program
 	kernels []kernelFn
+	// allocs describes the result and local arrays allocated per
+	// activation, with §3.4 windows resolved at compile time.
+	allocs []allocInfo
 }
 
 // allocInfo describes one array allocated at activation entry.
@@ -107,10 +123,13 @@ func (p *Program) compileModule(m *sem.Module, sched *core.Schedule) (cm *compil
 			panic(r)
 		}
 	}()
-	// Lower the schedule once into both plan variants; everything below
-	// compiles against the plan's slot assignment.
+	// Lower the schedule once into every plan variant; everything below
+	// compiles against the plan's slot assignment, which all variants
+	// share (Bounds come from the module's subrange table).
 	basePl := plan.Lower(m, sched, plan.Options{})
 	fusedPl := plan.Lower(m, sched, plan.Options{Fuse: true})
+	hyperPl := plan.Lower(m, sched, plan.Options{Hyperplane: true})
+	hyperFusedPl := plan.Lower(m, sched, plan.Options{Fuse: true, Hyperplane: true})
 	cm = &compiledModule{
 		m:      m,
 		sched:  sched,
@@ -131,18 +150,40 @@ func (p *Program) compileModule(m *sem.Module, sched *core.Schedule) (cm *compil
 		cm.slotOf[b.Subrange] = i
 		cm.bounds[i] = [2]evalI{c.compileI(b.Lo), c.compileI(b.Hi)}
 	}
-	// Equation kernels compile once and are shared by both variants.
+	// Equation kernels compile once and are shared by every variant.
 	kernels := make(map[*sem.Equation]kernelFn, len(m.Eqs))
 	for _, eq := range m.Eqs {
 		c.eq = eq
 		kernels[eq] = c.compileEquation(eq)
 		c.eq = nil
 	}
-	cm.base = bindPlan(basePl, kernels)
-	cm.fused = bindPlan(fusedPl, kernels)
-	// Allocation descriptors for result and local arrays, windows
-	// resolved from the plan's virtual-dimension report.
-	win := basePl.Windows()
+	cm.plans[0][0] = cm.bindPlan(basePl, kernels)
+	cm.plans[1][0] = cm.bindPlan(fusedPl, kernels)
+	// A module with no §4-eligible nest lowers identically with
+	// hyperplane on; share the untransformed compiledPlan then.
+	if hyperPl.HasWavefront() {
+		cm.plans[0][1] = cm.bindPlan(hyperPl, kernels)
+	} else {
+		cm.plans[0][1] = cm.plans[0][0]
+	}
+	if hyperFusedPl.HasWavefront() {
+		cm.plans[1][1] = cm.bindPlan(hyperFusedPl, kernels)
+	} else {
+		cm.plans[1][1] = cm.plans[1][0]
+	}
+	return cm, nil
+}
+
+// bindPlan aligns the shared kernel table with one plan variant's
+// equation order and resolves the variant's allocation descriptors
+// (windows come from the variant's own virtual report).
+func (cm *compiledModule) bindPlan(pl *plan.Program, kernels map[*sem.Equation]kernelFn) *compiledPlan {
+	cp := &compiledPlan{pl: pl, kernels: make([]kernelFn, len(pl.Eqs))}
+	for i, eq := range pl.Eqs {
+		cp.kernels[i] = kernels[eq]
+	}
+	m := cm.m
+	win := pl.Windows()
 	for _, sym := range append(append([]*sem.Symbol{}, m.Results...), m.Locals...) {
 		arr, isArr := sym.Type.(*types.Array)
 		if !isArr {
@@ -152,17 +193,7 @@ func (p *Program) compileModule(m *sem.Module, sched *core.Schedule) (cm *compil
 		for d, sr := range arr.Dims {
 			al.dims = append(al.dims, allocDim{slot: cm.slotOf[sr], window: win[sym][d]})
 		}
-		cm.allocs = append(cm.allocs, al)
-	}
-	return cm, nil
-}
-
-// bindPlan aligns the shared kernel table with one plan variant's
-// equation order.
-func bindPlan(pl *plan.Program, kernels map[*sem.Equation]kernelFn) *compiledPlan {
-	cp := &compiledPlan{pl: pl, kernels: make([]kernelFn, len(pl.Eqs))}
-	for i, eq := range pl.Eqs {
-		cp.kernels[i] = kernels[eq]
+		cp.allocs = append(cp.allocs, al)
 	}
 	return cp
 }

@@ -32,6 +32,15 @@ type Options struct {
 	// Fuse selects the loop-fused plan variant (the §5 "merge iterative
 	// loops" extension), lowered once at compile time.
 	Fuse bool
+	// Hyperplane selects whether eligible sequential loop nests execute
+	// the automatically §4-restructured (wavefront) plan variant. The
+	// zero value is HyperplaneAuto: parallel runs use the wavefront
+	// variant, sequential runs keep the untransformed nest (the sweep's
+	// bounding box and guards only pay off when planes run on workers).
+	// Selection deliberately ignores the effective worker count so the
+	// variant a runner executes — and Explain reports — is deterministic
+	// across hosts.
+	Hyperplane HyperplaneMode
 	// Pool, when non-nil, is a shared worker pool used for every DOALL of
 	// the activation tree instead of spawning a pool per activation. The
 	// run does not close it, and its worker count takes precedence over
@@ -41,6 +50,24 @@ type Options struct {
 	Stats *Stats
 }
 
+// HyperplaneMode controls the automatic §4 restructuring of sequential
+// loop nests.
+type HyperplaneMode uint8
+
+const (
+	// HyperplaneAuto (the default) runs eligible nests as wavefront
+	// sweeps whenever the run executes in parallel.
+	HyperplaneAuto HyperplaneMode = iota
+	// HyperplaneOff always runs the untransformed sequential nests.
+	HyperplaneOff
+)
+
+// EffectiveHyperplane reports whether a run with these options executes
+// the auto-hyperplane plan variant.
+func (o *Options) EffectiveHyperplane() bool {
+	return o.Hyperplane == HyperplaneAuto && !o.Sequential
+}
+
 // Stats accumulates per-run execution counters. The counters are updated
 // atomically, so one Stats value may observe a run whose DOALLs execute
 // on many workers; nested module calls accumulate into the same Stats.
@@ -48,8 +75,13 @@ type Stats struct {
 	// EqInstances counts equation instances executed (one per evaluation
 	// of one equation at one index point).
 	EqInstances atomic.Int64
-	// Chunks counts DOALL chunks dispatched to pool workers.
+	// Chunks counts DOALL chunks dispatched to pool workers, including
+	// the chunks carved out of wavefront planes.
 	Chunks atomic.Int64
+	// Planes counts hyperplane launches of wavefront steps — one per
+	// time step of every §4-restructured nest — so wavefront work stays
+	// distinguishable from plain DOALL chunking.
+	Planes atomic.Int64
 }
 
 // RunError describes a failure while executing a module: which module,
@@ -132,9 +164,9 @@ func (p *Program) Schedule(name string) *core.Schedule {
 	return p.Scheds[m]
 }
 
-// Plan returns the lowered loop program for a module: the base variant,
-// or the loop-fused one. It is nil for unknown modules.
-func (p *Program) Plan(name string, fused bool) *plan.Program {
+// Plan returns the lowered loop program for a module in the requested
+// variant (fusion × auto-hyperplane). It is nil for unknown modules.
+func (p *Program) Plan(name string, opts plan.Options) *plan.Program {
 	m := p.Prog.Module(name)
 	if m == nil {
 		return nil
@@ -143,10 +175,7 @@ func (p *Program) Plan(name string, fused bool) *plan.Program {
 	if cm == nil {
 		return nil
 	}
-	if fused {
-		return cm.fused.pl
-	}
-	return cm.base.pl
+	return cm.variant(opts.Fuse, opts.Hyperplane).pl
 }
 
 // runState is the execution context shared by a root activation and
@@ -304,16 +333,13 @@ func (p *Program) runModule(rs *runState, cm *compiledModule, args []any, inPara
 	opts := rs.opts
 	en = &env{
 		cm:         cm,
-		cp:         cm.base,
+		cp:         cm.variant(opts.Fuse, opts.EffectiveHyperplane()),
 		scalars:    make([]any, len(cm.syms)),
 		arrays:     make([]*value.Array, len(cm.syms)),
 		rs:         rs,
 		strict:     opts.Strict,
 		inParallel: inParallel,
 		curEq:      -1,
-	}
-	if opts.Fuse {
-		en.cp = cm.fused
 	}
 
 	// Bind parameters.
@@ -338,9 +364,10 @@ func (p *Program) runModule(rs *runState, cm *compiledModule, args []any, inPara
 		en.bounds[i] = [2]int64{b[0](en, fr), b[1](en, fr)}
 	}
 
-	// Allocate result and local arrays from the precomputed descriptors,
-	// honoring virtual dimensions unless ablated.
-	for _, al := range cm.allocs {
+	// Allocate result and local arrays from the plan variant's
+	// precomputed descriptors, honoring virtual dimensions unless
+	// ablated.
+	for _, al := range en.cp.allocs {
 		axes := make([]value.Axis, len(al.dims))
 		for d, ad := range al.dims {
 			b := en.bounds[ad.slot]
@@ -443,6 +470,9 @@ func (p *Program) execSteps(en *env, fr []int64, lo, hi int) {
 				fr[slot] = v
 				p.execSteps(en, fr, i+1, st.End)
 			}
+			i = st.End
+		case plan.OpWavefront:
+			p.execWavefront(en, fr, st, i+1)
 			i = st.End
 		default: // plan.OpDoAll
 			p.execDoAll(en, fr, st, i+1)
@@ -568,6 +598,246 @@ func (p *Program) execDoAll(en *env, fr []int64, st *plan.Step, bodyLo int) {
 	}
 	if !completed {
 		panic(runtimeError{err: rs.ctx.Err()})
+	}
+}
+
+// execWavefront runs one §4-restructured nest: a sequential sweep over
+// hyperplanes t = π·x, each plane a DOALL over the bounding box of the
+// remaining transformed coordinates. Per point the step's baked T⁻¹
+// recovers the original indices; points whose preimage falls outside
+// the original iteration box are skipped, so exactly the original
+// points execute, each once, with every dependence satisfied (π·d ≥ 1
+// places a point's inputs on strictly earlier planes, and in-plane
+// points are independent by construction).
+func (p *Program) execWavefront(en *env, fr []int64, st *plan.Step, bodyLo int) {
+	rs := en.rs
+	hy := st.Hyper
+	n := len(st.Dims)
+	var lo, hi [plan.MaxCollapse]int64
+	for j, slot := range st.Dims {
+		b := en.bounds[slot]
+		if b[1] < b[0] {
+			return // empty dimension: the nest has no iterations
+		}
+		lo[j], hi[j] = b[0], b[1]
+	}
+	// Interval bounds of each transformed coordinate row_r(T)·x over the
+	// original box; row 0 is the time axis.
+	var tlo, thi [plan.MaxCollapse]int64
+	for r := 0; r < n; r++ {
+		for j, c := range hy.T[r] {
+			if c >= 0 {
+				tlo[r] += c * lo[j]
+				thi[r] += c * hi[j]
+			} else {
+				tlo[r] += c * hi[j]
+				thi[r] += c * lo[j]
+			}
+		}
+	}
+	// Interval of each π_j·x_j term over the box, for per-plane
+	// tightening of basis plane coordinates (π is non-negative).
+	var piLoSum, piHiSum int64
+	for j := 0; j < n; j++ {
+		piLoSum += hy.Pi[j] * lo[j]
+		piHiSum += hy.Pi[j] * hi[j]
+	}
+	// The body is exactly one equation step (tryWavefront guarantees
+	// it), so points invoke the kernel directly instead of re-entering
+	// the step dispatcher — the wavefront analogue of the DOALL leaf
+	// fast path.
+	eqi := en.cp.pl.Steps[bodyLo].Eq
+	canceled := rs.canceled
+	// Planes too small to amortize a pool dispatch run inline — the
+	// narrow leading and trailing hyperplanes of every sweep.
+	const inlinePlane = 32
+	noPool := rs.pool == nil || en.inParallel || rs.pool.Workers() == 1
+	cm := en.cm
+
+	for t := tlo[0]; t <= thi[0]; t++ {
+		if canceled != nil && canceled.Load() {
+			panic(runtimeError{err: rs.ctx.Err()})
+		}
+		// Per-plane bounds: start from the box interval and, for plane
+		// coordinates that are original dimensions (basis rows of T),
+		// solve π·x = t for that coordinate's feasible range. This keeps
+		// the guarded slack per plane small even when the time axis is
+		// much longer than the other dimensions.
+		var plo, phi [plan.MaxCollapse]int64
+		planeTotal := int64(1)
+		for r := 1; r < n; r++ {
+			l, h := tlo[r], thi[r]
+			if j := hy.Basis[r]; j >= 0 {
+				if c := hy.Pi[j]; c > 0 {
+					othersLo := piLoSum - c*lo[j]
+					othersHi := piHiSum - c*hi[j]
+					if q := ceilDiv(t-othersHi, c); q > l {
+						l = q
+					}
+					if q := floorDiv(t-othersLo, c); q < h {
+						h = q
+					}
+				}
+			}
+			if l > h {
+				planeTotal = 0
+				break
+			}
+			plo[r], phi[r] = l, h
+			planeTotal *= h - l + 1
+		}
+		if planeTotal == 0 {
+			continue // no candidate points on this hyperplane
+		}
+		if rs.stats != nil {
+			rs.stats.Planes.Add(1)
+		}
+		if noPool || planeTotal < inlinePlane {
+			var xpBuf, xBuf [plan.MaxCollapse]int64
+			xp, x := xpBuf[:n], xBuf[:n]
+			xp[0] = t
+			for r := 1; r < n; r++ {
+				xp[r] = plo[r]
+			}
+			preimage(hy.TInv, xp, x)
+			for c := int64(0); c < planeTotal; c++ {
+				if canceled != nil && canceled.Load() {
+					panic(runtimeError{err: rs.ctx.Err()})
+				}
+				wavefrontPoint(en, fr, st, x, &lo, &hi, eqi)
+				advancePlane(xp, x, hy.TInv, &plo, &phi)
+			}
+			continue
+		}
+
+		// Parallel plane: chunked exactly like a DOALL, with pooled
+		// worker state; each chunk decomposes its start index once and
+		// walks the plane odometer-style, updating the T⁻¹ preimage
+		// incrementally instead of remapping per point.
+		var panicOnce sync.Once
+		var panicked any
+		completed := rs.pool.ForRangesOpts(rs.cancelChan(), 0, planeTotal-1, rs.opts.Grain, func(start, end int64) {
+			ws, _ := cm.ws.Get().(*workerState)
+			if ws == nil {
+				ws = &workerState{}
+			}
+			if cap(ws.fr) < len(fr) {
+				ws.fr = make([]int64, len(fr))
+			}
+			wfr := ws.fr[:len(fr)]
+			copy(wfr, fr)
+			ws.en = *en
+			sub := &ws.en
+			sub.inParallel = true
+			sub.eqCount = 0
+			defer func() {
+				if rs.stats != nil {
+					rs.stats.Chunks.Add(1)
+					rs.stats.EqInstances.Add(sub.eqCount)
+				}
+				if r := recover(); r != nil {
+					switch e := r.(type) {
+					case runtimeError:
+						if e.eq == "" {
+							e.eq = sub.eqLabel()
+						}
+						panicOnce.Do(func() { panicked = e })
+					case value.Error:
+						panicOnce.Do(func() { panicked = runtimeError{err: e, eq: sub.eqLabel()} })
+					default:
+						panicOnce.Do(func() { panicked = r })
+					}
+				}
+				cm.ws.Put(ws)
+			}()
+			var xpBuf, xBuf [plan.MaxCollapse]int64
+			xp, x := xpBuf[:n], xBuf[:n]
+			xp[0] = t
+			rem := start
+			for r := n - 1; r >= 1; r-- {
+				span := phi[r] - plo[r] + 1
+				xp[r] = plo[r] + rem%span
+				rem /= span
+			}
+			preimage(hy.TInv, xp, x)
+			for li := start; ; li++ {
+				wavefrontPoint(sub, wfr, st, x, &lo, &hi, eqi)
+				if li == end {
+					break
+				}
+				advancePlane(xp, x, hy.TInv, &plo, &phi)
+			}
+		})
+		if panicked != nil {
+			panic(panicked)
+		}
+		if !completed {
+			panic(runtimeError{err: rs.ctx.Err()})
+		}
+	}
+}
+
+// ceilDiv and floorDiv divide with rounding toward +∞/−∞; b must be
+// positive (π coefficients are non-negative by construction).
+func ceilDiv(a, b int64) int64 {
+	if a >= 0 {
+		return (a + b - 1) / b
+	}
+	return -(-a / b)
+}
+
+func floorDiv(a, b int64) int64 {
+	if a >= 0 {
+		return a / b
+	}
+	return -((-a + b - 1) / b)
+}
+
+// preimage computes x = T⁻¹·xp.
+func preimage(tinv [][]int64, xp, x []int64) {
+	for j, row := range tinv {
+		var v int64
+		for r, c := range row {
+			v += c * xp[r]
+		}
+		x[j] = v
+	}
+}
+
+// wavefrontPoint runs the recurrence kernel at the preimage point x
+// when it lies in the original iteration box (outside points are
+// bounding-box slack).
+func wavefrontPoint(en *env, fr []int64, st *plan.Step, x []int64, lo, hi *[plan.MaxCollapse]int64, eqi int) {
+	for j, v := range x {
+		if v < lo[j] || v > hi[j] {
+			return
+		}
+	}
+	for j, v := range x {
+		fr[st.Dims[j]] = v
+	}
+	en.curEq = int32(eqi)
+	en.eqCount++
+	en.cp.kernels[eqi](en, fr)
+}
+
+// advancePlane steps xp one point through the plane's bounding box —
+// transformed dimensions 1..n-1, innermost fastest; dimension 0 (the
+// time axis) stays fixed — and updates the preimage x incrementally:
+// bumping xp[r] adds T⁻¹'s column r, wrapping subtracts its span.
+func advancePlane(xp, x []int64, tinv [][]int64, tlo, thi *[plan.MaxCollapse]int64) {
+	for r := len(xp) - 1; r >= 1; r-- {
+		if xp[r]++; xp[r] <= thi[r] {
+			for j := range x {
+				x[j] += tinv[j][r]
+			}
+			return
+		}
+		span := thi[r] - tlo[r]
+		xp[r] = tlo[r]
+		for j := range x {
+			x[j] -= span * tinv[j][r]
+		}
 	}
 }
 

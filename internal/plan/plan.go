@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/core"
+	"repro/internal/hyperplane"
 	"repro/internal/sem"
 	"repro/internal/types"
 )
@@ -31,6 +32,11 @@ const (
 	// OpDoAll is a parallel loop: one or more collapsed DOALL dimensions
 	// forming a single linear iteration space.
 	OpDoAll
+	// OpWavefront is a §4 hyperplane-restructured loop nest: an outer
+	// sequential sweep over hyperplanes t = π·x wrapping a parallel
+	// (DOALL) traversal of each plane, with the T⁻¹ remap back to the
+	// original index frame baked into the step (see Hyper).
+	OpWavefront
 )
 
 // String names the opcode.
@@ -42,6 +48,8 @@ func (o Op) String() string {
 		return "do"
 	case OpDoAll:
 		return "doall"
+	case OpWavefront:
+		return "wavefront"
 	}
 	return "?"
 }
@@ -72,6 +80,65 @@ type Step struct {
 	// executors run the collapsed iteration space without re-entering the
 	// step dispatcher per point.
 	Leaf bool
+	// Hyper carries the §4 restructuring data for OpWavefront steps; nil
+	// for every other op.
+	Hyper *Hyper
+}
+
+// Hyper is the hyperplane restructuring of one sequential loop nest
+// (paper §4), attached to an OpWavefront step. The step's Dims list the
+// original frame slots in equation-dimension order; executors sweep the
+// transformed coordinates x' = T·x plane by plane (x'₀ = π·x is the
+// time axis), recover x = T⁻¹·x' per point, skip points whose preimage
+// falls outside the original iteration box, and run the body at the
+// original frame — so equation kernels are shared untouched with the
+// untransformed plan variants.
+type Hyper struct {
+	// Pi is the least time vector with π·d ≥ 1 for every dependence d;
+	// it is row 0 of T.
+	Pi []int64
+	// T is the unimodular coordinate change, TInv its exact inverse,
+	// stored as dense rows.
+	T, TInv [][]int64
+	// Basis[r] = j when row r of T is the standard basis vector e_j (so
+	// transformed coordinate r is exactly original dimension j), else
+	// -1. Executors use it to tighten each plane coordinate's range per
+	// time step — π·x = t bounds a basis coordinate to
+	// [⌈(t−maxOthers)/π_j⌉, ⌊(t−minOthers)/π_j⌋] — which keeps the
+	// bounding-box slack linear instead of quadratic in the time span.
+	// Basis[0] is always -1 (row 0 is π).
+	Basis []int
+	// Window is 1 + the largest transformed first dependence component —
+	// the number of consecutive hyperplanes a plane's inputs span.
+	Window int
+}
+
+// piString renders the time function over the step's dimension names,
+// e.g. "2K + I + J".
+func (h *Hyper) piString(names []string) string {
+	var terms []string
+	for i, c := range h.Pi {
+		switch {
+		case c == 0:
+		case c == 1:
+			terms = append(terms, names[i])
+		default:
+			terms = append(terms, fmt.Sprintf("%d%s", c, names[i]))
+		}
+	}
+	if len(terms) == 0 {
+		return "0"
+	}
+	return strings.Join(terms, " + ")
+}
+
+// vecString renders an integer vector like "(2,1,1)".
+func vecString(v []int64) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
 }
 
 // Program is the lowered loop program for one module variant.
@@ -118,6 +185,11 @@ const MaxCollapse = 8
 type Options struct {
 	// Fuse applies §5 loop fusion to the flowchart before lowering.
 	Fuse bool
+	// Hyperplane applies the automatic §4 restructuring: every fully
+	// sequential singleton loop nest around one constant-offset
+	// recurrence is analyzed for a valid time vector and, when eligible,
+	// lowered as an OpWavefront step instead of a DO nest.
+	Hyperplane bool
 }
 
 // Lower flattens a module's schedule into an executable plan. It is the
@@ -125,7 +197,7 @@ type Options struct {
 // must consume the returned Program instead of the flowchart.
 func Lower(m *sem.Module, sched *core.Schedule, opts Options) *Program {
 	p := &Program{Module: m.Name, Fused: opts.Fuse, Virtual: sched.Virtual}
-	lw := &lowerer{p: p, slot: make(map[*types.Subrange]int, len(m.Subranges))}
+	lw := &lowerer{p: p, m: m, opts: opts, slot: make(map[*types.Subrange]int, len(m.Subranges))}
 	for i, info := range m.Subranges {
 		lw.slot[info.Type] = i
 		p.Bounds = append(p.Bounds, Bound{Subrange: info.Type, Lo: info.Type.Lo, Hi: info.Type.Hi})
@@ -138,9 +210,21 @@ func Lower(m *sem.Module, sched *core.Schedule, opts Options) *Program {
 	return p
 }
 
+// HasWavefront reports whether the plan contains a §4 wavefront step.
+func (p *Program) HasWavefront() bool {
+	for i := range p.Steps {
+		if p.Steps[i].Op == OpWavefront {
+			return true
+		}
+	}
+	return false
+}
+
 // lowerer carries lowering state for one Lower call.
 type lowerer struct {
 	p     *Program
+	m     *sem.Module
+	opts  Options
 	slot  map[*types.Subrange]int
 	eqIdx map[*sem.Equation]int
 }
@@ -188,6 +272,9 @@ func (lw *lowerer) kernel(eq *sem.Equation) int {
 // every activation. PS subrange bounds depend only on module scalars, so
 // inner bounds are loop-invariant and the collapse is always legal.
 func (lw *lowerer) lowerLoop(l *core.LoopDesc) {
+	if lw.opts.Hyperplane && !l.Parallel && lw.tryWavefront(l) {
+		return
+	}
 	dims := []int{lw.slotOf(l.Subrange)}
 	body := l.Body
 	op := OpDo
@@ -218,6 +305,117 @@ func (lw *lowerer) lowerLoop(l *core.LoopDesc) {
 	}
 }
 
+// tryWavefront recognizes the §4-eligible shape under l — a maximal
+// nest of fully sequential singleton loops whose innermost body is one
+// recurrence equation iterating exactly the nest's dimensions — runs
+// the hyperplane analysis on it, and lowers an OpWavefront step when a
+// valid time vector exists. It reports whether the nest was consumed;
+// on any ineligibility it returns false and the caller lowers the
+// ordinary DO nest, so the transform is always a pure win-or-no-change.
+func (lw *lowerer) tryWavefront(l *core.LoopDesc) bool {
+	var dims []*types.Subrange
+	cur := l
+	for {
+		if cur.Parallel {
+			return false
+		}
+		dims = append(dims, cur.Subrange)
+		if len(cur.Body) != 1 {
+			return false
+		}
+		if inner, ok := cur.Body[0].(*core.LoopDesc); ok {
+			cur = inner
+			continue
+		}
+		nd, ok := cur.Body[0].(*core.NodeDesc)
+		if !ok || nd.Node.Eq == nil {
+			return false
+		}
+		eq := nd.Node.Eq
+		// A 1-D nest has no plane to parallelize; the nest must iterate
+		// the equation's full dimension set so the time vector covers
+		// every scheduled subscript.
+		if len(dims) < 2 || len(dims) != len(eq.Dims) || len(dims) > MaxCollapse {
+			return false
+		}
+		for _, d := range eq.Dims {
+			found := false
+			for _, nd := range dims {
+				if nd == d {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		an, err := hyperplane.Analyze(lw.m, eq)
+		if err != nil {
+			return false
+		}
+		lw.emitWavefront(an, eq)
+		return true
+	}
+}
+
+// emitWavefront lowers one analyzed recurrence as a wavefront step. The
+// step's Dims are the frame slots of the equation's dimensions in
+// analysis order (the order π, T and T⁻¹ are expressed in). Virtual
+// windows keyed on the transformed subranges are dropped from the plan:
+// the wavefront sweep interleaves original-coordinate planes, so a
+// window sized for ascending-order execution would be overwritten while
+// still live.
+func (lw *lowerer) emitWavefront(an *hyperplane.Analysis, eq *sem.Equation) {
+	n := len(an.Dims)
+	hy := &Hyper{Pi: an.Pi, Window: an.Window}
+	for r := 0; r < n; r++ {
+		hy.T = append(hy.T, an.T.Row(r))
+		hy.TInv = append(hy.TInv, an.TInv.Row(r))
+		b := -1
+		if r > 0 {
+			b = basisIndex(hy.T[r])
+		}
+		hy.Basis = append(hy.Basis, b)
+	}
+	slots := make([]int, n)
+	transformed := make(map[*types.Subrange]bool, n)
+	for i, d := range an.Dims {
+		slots[i] = lw.slotOf(d)
+		transformed[d] = true
+	}
+	self := len(lw.p.Steps)
+	lw.p.Steps = append(lw.p.Steps, Step{Op: OpWavefront, Dims: slots, Hyper: hy})
+	lw.p.Steps = append(lw.p.Steps, Step{Op: OpEq, Eq: lw.kernel(eq)})
+	lw.p.Steps[self].End = len(lw.p.Steps)
+
+	kept := lw.p.Virtual[:0:0]
+	for _, v := range lw.p.Virtual {
+		if !transformed[v.Subrange] {
+			kept = append(kept, v)
+		}
+	}
+	lw.p.Virtual = kept
+}
+
+// basisIndex returns j when row is the standard basis vector e_j, else -1.
+func basisIndex(row []int64) int {
+	j := -1
+	for i, c := range row {
+		switch c {
+		case 0:
+		case 1:
+			if j >= 0 {
+				return -1
+			}
+			j = i
+		default:
+			return -1
+		}
+	}
+	return j
+}
+
 // dimNames joins the subrange names of a loop step's dimensions.
 func (p *Program) dimNames(st *Step) string {
 	names := make([]string, len(st.Dims))
@@ -241,6 +439,9 @@ func (p *Program) String() string {
 	variant := ""
 	if p.Fused {
 		variant = ", fused"
+	}
+	if p.HasWavefront() {
+		variant += ", auto-hyperplane"
 	}
 	fmt.Fprintf(&sb, "plan %s (%d steps, %d slots%s)\n", p.Module, len(p.Steps), len(p.Bounds), variant)
 	for i, b := range p.Bounds {
@@ -278,6 +479,14 @@ func (p *Program) String() string {
 			}
 			sb.WriteByte('\n')
 			depth = append(depth, st.End)
+		case OpWavefront:
+			names := make([]string, len(st.Dims))
+			for j, s := range st.Dims {
+				names[j] = p.Bounds[s].Subrange.Name
+			}
+			fmt.Fprintf(&sb, "wavefront %s  t = %s, pi = %s, window %d\n",
+				strings.Join(names, ", "), st.Hyper.piString(names), vecString(st.Hyper.Pi), st.Hyper.Window)
+			depth = append(depth, st.End)
 		}
 	}
 	return sb.String()
@@ -302,8 +511,11 @@ func (p *Program) compactRange(lo, hi int) (string, int) {
 			i++
 		default:
 			kw := "DO"
-			if st.Op == OpDoAll {
+			switch st.Op {
+			case OpDoAll:
 				kw = "DOALL"
+			case OpWavefront:
+				kw = fmt.Sprintf("WAVEFRONT[pi=%s]", vecString(st.Hyper.Pi))
 			}
 			names := make([]string, len(st.Dims))
 			for j, s := range st.Dims {

@@ -1,6 +1,7 @@
 package plan_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -116,6 +117,100 @@ end Chain;
 	}
 	if got, want := fused.Compact(), "DOALL I (eq.1; eq.2)"; got != want {
 		t.Errorf("fused Compact = %q, want %q", got, want)
+	}
+}
+
+// TestLowerWavefront checks the automatic §4 restructuring at the plan
+// level: the Gauss–Seidel DO nest becomes a wavefront step carrying the
+// paper's time vector, transformation and window, the virtual window on
+// the transformed subrange is dropped (wavefront order interleaves K
+// planes, so a 2-plane window would be clobbered while live), and
+// T·T⁻¹ = I.
+func TestLowerWavefront(t *testing.T) {
+	base := lower(t, psrc.RelaxationGS, "Relaxation", plan.Options{})
+	p := lower(t, psrc.RelaxationGS, "Relaxation", plan.Options{Hyperplane: true})
+	if !p.HasWavefront() {
+		t.Fatalf("no wavefront step in %s", p.Compact())
+	}
+	var wf *plan.Step
+	for i := range p.Steps {
+		if p.Steps[i].Op == plan.OpWavefront {
+			wf = &p.Steps[i]
+			break
+		}
+	}
+	hy := wf.Hyper
+	if got, want := fmt.Sprintf("%v", hy.Pi), "[2 1 1]"; got != want {
+		t.Errorf("Pi = %s, want %s", got, want)
+	}
+	if hy.Window != 3 {
+		t.Errorf("Window = %d, want 3", hy.Window)
+	}
+	if wf.End != indexOf(t, p, wf)+2 {
+		t.Errorf("wavefront body is not the single recurrence step (End %d)", wf.End)
+	}
+	// T·T⁻¹ = I.
+	n := len(hy.Pi)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s int64
+			for k := 0; k < n; k++ {
+				s += hy.T[i][k] * hy.TInv[k][j]
+			}
+			want := int64(0)
+			if i == j {
+				want = 1
+			}
+			if s != want {
+				t.Fatalf("T·TInv[%d][%d] = %d, want %d", i, j, s, want)
+			}
+		}
+	}
+	// Row 1 of the paper's T is e_0 (I' = K): Basis must record it.
+	if hy.Basis[0] != -1 || hy.Basis[1] != 0 {
+		t.Errorf("Basis = %v", hy.Basis)
+	}
+	// Window drop: the base plan reports A's K window, the wavefront
+	// variant must not.
+	if len(base.Virtual) == 0 {
+		t.Fatal("base plan lost the virtual report")
+	}
+	if len(p.Virtual) != 0 {
+		t.Errorf("wavefront plan still reports virtual windows on transformed dims: %v", p.Virtual)
+	}
+	if got, want := p.Compact(), "DOALL I×J (eq.1); WAVEFRONT[pi=(2,1,1)] K×I×J (eq.3); DOALL I×J (eq.2)"; got != want {
+		t.Errorf("Compact = %q, want %q", got, want)
+	}
+}
+
+func indexOf(t *testing.T, p *plan.Program, st *plan.Step) int {
+	t.Helper()
+	for i := range p.Steps {
+		if &p.Steps[i] == st {
+			return i
+		}
+	}
+	t.Fatal("step not in plan")
+	return -1
+}
+
+// TestLowerWavefrontIneligible checks the pass leaves untransformable
+// shapes alone: a 1-D recurrence (no plane) and an already-parallel
+// nest lower identically with the option on.
+func TestLowerWavefrontIneligible(t *testing.T) {
+	for _, tc := range []struct{ name, src string }{
+		{"Prefix", psrc.Prefix},
+		{"Relaxation", psrc.Relaxation},
+		{"Heat1D", psrc.Heat1D},
+	} {
+		base := lower(t, tc.src, "", plan.Options{})
+		auto := lower(t, tc.src, "", plan.Options{Hyperplane: true})
+		if auto.HasWavefront() {
+			t.Errorf("%s: ineligible program transformed: %s", tc.name, auto.Compact())
+		}
+		if got, want := auto.Compact(), base.Compact(); got != want {
+			t.Errorf("%s: auto plan %q differs from base %q", tc.name, got, want)
+		}
 	}
 }
 

@@ -3,7 +3,9 @@
 // Programs", ICPP 1987). It wires the full pipeline together:
 //
 //	source → parse → check → dependency graph → schedule (DO/DOALL
-//	flowchart + virtual dimensions) → {execute in parallel | generate C |
+//	flowchart + virtual dimensions) → lower to the loop-plan IR (§5
+//	fusion; automatic §4 hyperplane restructuring of eligible sequential
+//	nests into wavefront steps) → {execute in parallel | generate C |
 //	hyperplane-transform}
 //
 // The service entry point is the Engine: a long-lived, concurrency-safe
@@ -30,8 +32,12 @@
 // wrappers over the same pipeline for scripts and tests that do not
 // need a shared runtime.
 //
-// The hyperplane restructuring of §4 is exposed as a source-to-source
-// transformation:
+// The hyperplane restructuring of §4 is applied automatically during
+// lowering (HyperplaneAuto, the default for parallel runs): sequential
+// recurrence nests with constant dependence vectors and a valid time
+// vector execute as wavefront sweeps, inspectable through Runner.Explain
+// and Module.Plan and controllable per Runner with WithHyperplane. It
+// also remains available as an explicit source-to-source transformation:
 //
 //	hp, err := m.Hyperplane("eq.3")      // analysis: π, T, T⁻¹, window
 //	prog2, err := ps.CompileProgram("t.ps", hp.TransformedSource)
@@ -115,7 +121,7 @@ func compileProgram(eng *Engine, name, source string) (*Program, error) {
 			sem:   m,
 			graph: ip.Scheds[m].Graph,
 			sched: ip.Scheds[m],
-			pl:    ip.Plan(m.Name, false),
+			pl:    ip.Plan(m.Name, plan.Options{Hyperplane: true}),
 		}
 	}
 	return p, nil
@@ -164,6 +170,27 @@ func Grain(n int64) RunOption { return func(o *interp.Options) { o.Grain = n } }
 // Fused executes the loop-fused schedule variant (§5 extension).
 func Fused() RunOption { return func(o *interp.Options) { o.Fuse = true } }
 
+// HyperplaneMode controls the automatic §4 restructuring of sequential
+// loop nests (see WithHyperplane).
+type HyperplaneMode = interp.HyperplaneMode
+
+const (
+	// HyperplaneAuto (the default) analyzes every fully sequential
+	// recurrence nest at compile time and, when a valid time vector
+	// exists, executes it as a wavefront: a sequential sweep over
+	// hyperplanes with each plane run as a DOALL. Sequential runs keep
+	// the untransformed nest.
+	HyperplaneAuto = interp.HyperplaneAuto
+	// HyperplaneOff always executes the untransformed sequential nests.
+	HyperplaneOff = interp.HyperplaneOff
+)
+
+// WithHyperplane selects the automatic §4 wavefront scheduling mode for
+// a Runner (or, via EngineDefaults, for every Runner of an engine).
+func WithHyperplane(mode HyperplaneMode) RunOption {
+	return func(o *interp.Options) { o.Hyperplane = mode }
+}
+
 // Run executes the named module. Scalar arguments are Go ints, float64s,
 // bools or strings; array arguments are *ps.Array. One value is returned
 // per declared module result.
@@ -197,20 +224,45 @@ func (m *Module) FlowchartCompact() string { return m.sched.Flowchart.Compact() 
 // loops over the same subrange merged when dependences permit.
 func (m *Module) FlowchartFused() string { return core.Fuse(m.sched.Flowchart).Compact() }
 
+// PlanOptions select a lowered plan variant for inspection and C
+// generation.
+type PlanOptions struct {
+	// Fused selects the §5 loop-fused variant.
+	Fused bool
+	// Hyperplane selects whether the automatic §4 wavefront lowering is
+	// applied; the zero value (HyperplaneAuto) matches the plan parallel
+	// runs execute by default.
+	Hyperplane HyperplaneMode
+}
+
+// planFor resolves a plan variant.
+func (m *Module) planFor(o PlanOptions) *plan.Program {
+	return m.prog.ip.Plan(m.sem.Name, plan.Options{Fuse: o.Fused, Hyperplane: o.Hyperplane == HyperplaneAuto})
+}
+
 // Plan returns the lowered loop program — the flat, slot-resolved IR
 // both the interpreter and the C generator consume — rendered as an
 // indented listing (`psrun -explain` prints the same artifact). Loops
 // are resolved to frame slots, directly nested DOALLs are collapsed,
-// and every equation carries its kernel index.
+// §4-eligible sequential nests appear as wavefront steps annotated with
+// their time vector π and window, and every equation carries its kernel
+// index. It shows the variant parallel runs execute by default; use
+// PlanWith to inspect others.
 func (m *Module) Plan() string { return m.pl.String() }
 
+// PlanWith returns the listing of a specific plan variant.
+func (m *Module) PlanWith(o PlanOptions) string { return m.planFor(o).String() }
+
 // PlanCompact returns the lowered loop program on one line, e.g.
-// "DOALL I×J (eq.1); DO K (DOALL I×J (eq.3)); DOALL I×J (eq.2)".
+// "DOALL I×J (eq.1); WAVEFRONT[pi=(2,1,1)] K×I×J (eq.3); DOALL I×J (eq.2)".
 func (m *Module) PlanCompact() string { return m.pl.Compact() }
+
+// PlanCompactWith returns the one-line form of a specific plan variant.
+func (m *Module) PlanCompactWith(o PlanOptions) string { return m.planFor(o).Compact() }
 
 // PlanFused returns the loop-fused plan variant's listing.
 func (m *Module) PlanFused() string {
-	return m.prog.ip.Plan(m.sem.Name, true).String()
+	return m.PlanWith(PlanOptions{Fused: true})
 }
 
 // GraphListing returns the dependency graph as text (Figure 3).
@@ -260,9 +312,16 @@ type CGenOptions = cgen.Options
 
 // GenerateC emits the module as a C translation unit with annotated
 // DO/DOALL loops, the paper's output artifact. The generator consumes
-// the same lowered plan the interpreter executes.
+// the same lowered plan parallel interpretation executes by default —
+// §4-eligible nests emit the skewed wavefront nest with the plane loop
+// under the OpenMP pragma. Use GenerateCWith to emit another variant.
 func (m *Module) GenerateC(opts CGenOptions) (string, error) {
 	return cgen.Generate(m.sem, m.pl, opts)
+}
+
+// GenerateCWith emits C for a specific plan variant.
+func (m *Module) GenerateCWith(o PlanOptions, opts CGenOptions) (string, error) {
+	return cgen.Generate(m.sem, m.planFor(o), opts)
 }
 
 // Hyperplane is the result of the §4 analysis and transformation of one

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/interp"
 	"repro/internal/par"
+	"repro/internal/plan"
 	"repro/internal/types"
 )
 
@@ -90,12 +91,19 @@ func (r *Runner) Explain() string {
 	if r.opts.NoVirtual {
 		mode += ", no-virtual"
 	}
+	if r.opts.Hyperplane == HyperplaneOff {
+		mode += ", hyperplane off"
+	}
+	pl := r.prog.ip.Plan(r.mod.sem.Name, plan.Options{Fuse: o.Fuse, Hyperplane: o.EffectiveHyperplane()})
 	variant := "base plan"
 	if r.opts.Fuse {
 		variant = "fused plan"
 	}
+	if pl.HasWavefront() {
+		variant = "auto-hyperplane " + variant
+	}
 	fmt.Fprintf(&sb, "runner %s: %s, %s\n", r.mod.Name(), mode, variant)
-	sb.WriteString(r.prog.ip.Plan(r.mod.sem.Name, r.opts.Fuse).String())
+	sb.WriteString(pl.String())
 	return sb.String()
 }
 
@@ -123,6 +131,7 @@ func (r *Runner) Run(ctx context.Context, args []any) ([]any, *RunStats, error) 
 	stats := &RunStats{
 		EquationInstances: st.EqInstances.Load(),
 		DOALLChunks:       st.Chunks.Load(),
+		WavefrontPlanes:   st.Planes.Load(),
 		Workers:           effectiveWorkers(o),
 		WallTime:          time.Since(start),
 	}

@@ -16,8 +16,14 @@ type RunStats struct {
 	// paper's unit of schedulable work.
 	EquationInstances int64
 	// DOALLChunks is the number of parallel chunks dispatched to
-	// workers across all DOALL loops of the run.
+	// workers across all DOALL loops of the run, including the chunks
+	// carved out of wavefront planes.
 	DOALLChunks int64
+	// WavefrontPlanes is the number of hyperplane launches performed by
+	// §4 auto-restructured (wavefront) steps — one per time step of each
+	// transformed nest, distinguishing wavefront sweeps from plain DOALL
+	// chunking. Zero when no wavefront step executed.
+	WavefrontPlanes int64
 	// Workers is the worker count the run was configured with (1 for
 	// sequential runs).
 	Workers int
@@ -27,6 +33,6 @@ type RunStats struct {
 
 // String renders the stats on one line.
 func (s *RunStats) String() string {
-	return fmt.Sprintf("eq_instances=%d doall_chunks=%d workers=%d wall=%s",
-		s.EquationInstances, s.DOALLChunks, s.Workers, s.WallTime)
+	return fmt.Sprintf("eq_instances=%d doall_chunks=%d wavefront_planes=%d workers=%d wall=%s",
+		s.EquationInstances, s.DOALLChunks, s.WavefrontPlanes, s.Workers, s.WallTime)
 }

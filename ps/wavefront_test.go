@@ -1,0 +1,117 @@
+package ps_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/psrc"
+	"repro/ps"
+)
+
+// seedGrid builds an (n+2)×(n+2) seed for the wavefront modules.
+func seedGrid(n int64) *ps.Array {
+	a := ps.NewRealArray(ps.Axis{Lo: 0, Hi: n + 1}, ps.Axis{Lo: 0, Hi: n + 1})
+	for i := int64(0); i <= n+1; i++ {
+		for j := int64(0); j <= n+1; j++ {
+			a.SetF([]int64{i, j}, float64((i*7+j*3)%5))
+		}
+	}
+	return a
+}
+
+// TestWavefrontStats checks the new RunStats attribution on a module
+// whose recurrence auto-lowers to a wavefront: WavefrontPlanes counts
+// exactly the hyperplanes of the sweep (for Wavefront2D with pi=(1,1)
+// over [0,N+1]² that is 2(N+1)+1 time steps), plane chunks land in
+// DOALLChunks, and the counter stays zero when the transform is off or
+// the run is sequential — so the stats distinguish wavefront work from
+// plain DOALL chunking.
+func TestWavefrontStats(t *testing.T) {
+	const n = 40 // large enough that planes exceed the inline threshold
+	eng := ps.NewEngine(ps.EngineWorkers(2))
+	defer eng.Close()
+	prog, err := eng.Compile("wf2d.ps", psrc.Wavefront2D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []any{seedGrid(n), int64(n)}
+	points := int64((n + 2) * (n + 2))
+
+	run, err := prog.Prepare("Wavefront2D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := run.Run(context.Background(), args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPlanes := int64(2*(n+1) + 1)
+	if stats.WavefrontPlanes != wantPlanes {
+		t.Errorf("WavefrontPlanes = %d, want %d", stats.WavefrontPlanes, wantPlanes)
+	}
+	if stats.DOALLChunks == 0 {
+		t.Error("wavefront planes dispatched no chunks")
+	}
+	// eq.1 runs once per in-box point (bounding-box slack is skipped
+	// before the kernel), eq.2 once per point of the output DOALL.
+	if stats.EquationInstances != 2*points {
+		t.Errorf("EquationInstances = %d, want %d", stats.EquationInstances, 2*points)
+	}
+	if !strings.Contains(stats.String(), "wavefront_planes=") {
+		t.Errorf("stats string missing wavefront counter: %s", stats)
+	}
+
+	for _, tc := range []struct {
+		name string
+		opts []ps.RunOption
+	}{
+		{"HyperOff", []ps.RunOption{ps.WithHyperplane(ps.HyperplaneOff)}},
+		{"Sequential", []ps.RunOption{ps.Sequential()}},
+	} {
+		r, err := prog.Prepare("Wavefront2D", tc.opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st, err := r.Run(context.Background(), args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.WavefrontPlanes != 0 {
+			t.Errorf("%s: WavefrontPlanes = %d, want 0", tc.name, st.WavefrontPlanes)
+		}
+	}
+}
+
+// TestWavefrontCancellation aborts a long wavefront sweep mid-flight:
+// the plane loop must notice the context within a few planes and return
+// a typed cancellation error.
+func TestWavefrontCancellation(t *testing.T) {
+	eng := ps.NewEngine(ps.EngineWorkers(2))
+	defer eng.Close()
+	prog, err := eng.Compile("gs.ps", psrc.RelaxationGS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := prog.Prepare("Relaxation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m, maxK = 64, 1 << 18
+	in := seedGrid(m)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err = run.Run(ctx, []any{in, int64(m), int64(maxK)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("wavefront cancellation took %v", elapsed)
+	}
+}

@@ -1,16 +1,18 @@
 // Variant parity tests: every program in testdata/ and the psrc corpus
 // (the sources the examples run) must produce identical results under
 // every execution variant — sequential, parallel at several widths and
-// grains, loop-fused, strict, and with virtual windows ablated. The
-// sequential run is the reference; all others are compared element for
-// element through the JSON encoding. Run under -race (CI does) this also
-// shakes out data races in the DOALL dispatch path.
+// grains, loop-fused, strict, with virtual windows ablated, and with
+// the automatic §4 hyperplane (wavefront) scheduling both on and off.
+// The sequential run is the reference; all others are compared element
+// for element through the JSON encoding. Run under -race (CI does) this
+// also shakes out data races in the DOALL and wavefront dispatch paths.
 package repro
 
 import (
 	"fmt"
 	"os"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/psrc"
@@ -47,6 +49,17 @@ func vector(lo, hi int64) *ps.Array {
 	return a
 }
 
+// gridRange builds a 2-D seed over [lo,hi]×[lo,hi].
+func gridRange(lo, hi int64) *ps.Array {
+	a := ps.NewRealArray(ps.Axis{Lo: lo, Hi: hi}, ps.Axis{Lo: lo, Hi: hi})
+	for i := lo; i <= hi; i++ {
+		for j := lo; j <= hi; j++ {
+			a.SetF([]int64{i, j}, float64((i*29+j*11)%13)/13.0)
+		}
+	}
+	return a
+}
+
 func mustRead(t *testing.T, path string) string {
 	t.Helper()
 	b, err := os.ReadFile(path)
@@ -79,24 +92,43 @@ func variantPrograms(t *testing.T) []variantProgram {
 			[]any{vector(0, 17), int64(16)}},
 		{"psrc/Wavefront2D", psrc.Wavefront2D, "Wavefront2D",
 			[]any{grid2D(7), int64(7)}},
+		{"testdata/skew_stencil", mustRead(t, "testdata/skew_stencil.ps"), "SkewStencil",
+			[]any{grid2D(7), int64(7)}},
+		{"testdata/diag_chain", mustRead(t, "testdata/diag_chain.ps"), "DiagChain",
+			[]any{gridRange(1, 9), int64(9)}},
+		{"testdata/mutual", mustRead(t, "testdata/mutual.ps"), "Mutual",
+			[]any{grid2D(6), int64(6)}},
 	}
 }
 
 // TestVariantParity asserts that every execution variant of every corpus
 // program matches its sequential reference exactly.
 func TestVariantParity(t *testing.T) {
+	// The parallel variants run with the default HyperplaneAuto mode, so
+	// they execute the wavefront plan wherever a nest is eligible; the
+	// HyperOff rows pin the untransformed nests at the same widths, and
+	// the remaining rows cross auto-hyperplane with grain, fusion,
+	// strictness and window ablation.
 	variants := []struct {
 		name string
 		opts []ps.RunOption
 	}{
 		{"Par1", []ps.RunOption{ps.Workers(1)}},
+		{"Par2", []ps.RunOption{ps.Workers(2)}},
 		{"Par4", []ps.RunOption{ps.Workers(4)}},
 		{"Par3Grain8", []ps.RunOption{ps.Workers(3), ps.Grain(8)}},
+		{"Par2Grain4", []ps.RunOption{ps.Workers(2), ps.Grain(4)}},
 		{"FusedSeq", []ps.RunOption{ps.Sequential(), ps.Fused()}},
 		{"FusedPar4", []ps.RunOption{ps.Workers(4), ps.Fused()}},
 		{"StrictSeq", []ps.RunOption{ps.Sequential(), ps.Strict()}},
+		{"StrictPar2", []ps.RunOption{ps.Workers(2), ps.Strict()}},
 		{"NoVirtualSeq", []ps.RunOption{ps.Sequential(), ps.NoVirtual()}},
 		{"NoVirtualPar4", []ps.RunOption{ps.Workers(4), ps.NoVirtual()}},
+		{"HyperOffSeq", []ps.RunOption{ps.Sequential(), ps.WithHyperplane(ps.HyperplaneOff)}},
+		{"HyperOffPar2", []ps.RunOption{ps.Workers(2), ps.WithHyperplane(ps.HyperplaneOff)}},
+		{"HyperOffPar4", []ps.RunOption{ps.Workers(4), ps.WithHyperplane(ps.HyperplaneOff)}},
+		{"HyperOffPar3Grain8", []ps.RunOption{ps.Workers(3), ps.Grain(8), ps.WithHyperplane(ps.HyperplaneOff)}},
+		{"HyperOffFusedPar4", []ps.RunOption{ps.Workers(4), ps.Fused(), ps.WithHyperplane(ps.HyperplaneOff)}},
 	}
 	for _, tp := range variantPrograms(t) {
 		t.Run(tp.name, func(t *testing.T) {
@@ -127,6 +159,71 @@ func TestVariantParity(t *testing.T) {
 						t.Errorf("%s diverges from sequential reference:\ngot  %v\nwant %v", v.name, got, want)
 					}
 				})
+			}
+		})
+	}
+}
+
+// TestAutoHyperplaneEligibility pins down which corpus programs the
+// automatic §4 pass transforms: recurrence nests with constant-offset
+// dependences and a valid time vector become wavefront steps, while
+// ineligible shapes — 1-D recurrences, multi-equation components,
+// already-parallel nests — must keep their sequential DO loops. The
+// compact plan of the default (auto) variant is the witness.
+func TestAutoHyperplaneEligibility(t *testing.T) {
+	cases := []struct {
+		name      string
+		src       string
+		module    string
+		wavefront bool
+		pi        string // expected pi rendering for positive cases
+	}{
+		{"testdata/gauss_seidel", mustRead(t, "testdata/gauss_seidel.ps"), "Relaxation", true, "pi=(2,1,1)"},
+		{"testdata/skew_stencil", mustRead(t, "testdata/skew_stencil.ps"), "SkewStencil", true, "pi=(1,1)"},
+		{"testdata/diag_chain", mustRead(t, "testdata/diag_chain.ps"), "DiagChain", true, "pi=(2,1)"},
+		{"psrc/Wavefront2D", psrc.Wavefront2D, "Wavefront2D", true, "pi=(1,1)"},
+		// Negative cases: the DO loops must survive untransformed.
+		{"psrc/Prefix", psrc.Prefix, "Prefix", false, ""},                           // 1-D recurrence: no plane to parallelize
+		{"testdata/mutual", mustRead(t, "testdata/mutual.ps"), "Mutual", false, ""}, // two-equation component
+		{"psrc/Relaxation", psrc.Relaxation, "Relaxation", false, ""},               // inner loops already DOALL
+		{"psrc/Heat1D", psrc.Heat1D, "Heat1D", false, ""},                           // inner loop already DOALL
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := ps.CompileProgram(tc.name+".ps", tc.src)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			m := prog.Module(tc.module)
+			compact := m.PlanCompact()
+			if tc.wavefront {
+				if !strings.Contains(compact, "WAVEFRONT") {
+					t.Errorf("expected a wavefront step in auto plan, got %q", compact)
+				}
+				if !strings.Contains(compact, tc.pi) {
+					t.Errorf("plan %q missing time vector %q", compact, tc.pi)
+				}
+				// The explicit off variant must keep the DO nest, and the
+				// prepared parallel runner must surface the decision.
+				off := m.PlanCompactWith(ps.PlanOptions{Hyperplane: ps.HyperplaneOff})
+				if strings.Contains(off, "WAVEFRONT") {
+					t.Errorf("hyperplane-off plan still has a wavefront step: %q", off)
+				}
+				run, err := prog.Prepare(tc.module, ps.Workers(2))
+				if err != nil {
+					t.Fatal(err)
+				}
+				explain := run.Explain()
+				if !strings.Contains(explain, "auto-hyperplane") || !strings.Contains(explain, "wavefront") {
+					t.Errorf("Explain does not surface the wavefront decision:\n%s", explain)
+				}
+			} else {
+				if strings.Contains(compact, "WAVEFRONT") {
+					t.Errorf("ineligible program was transformed: %q", compact)
+				}
+				if got := m.PlanCompactWith(ps.PlanOptions{Hyperplane: ps.HyperplaneOff}); got != compact {
+					t.Errorf("auto and off plans differ for ineligible program:\n auto %q\n off  %q", compact, got)
+				}
 			}
 		})
 	}
