@@ -364,6 +364,14 @@ func benchWavefront(b *testing.B, file, module string, argsFor func(m, maxK int6
 			b.Run(fmt.Sprintf("%s/AutoPar%d", sz.name, w), func(b *testing.B) {
 				run(b, ps.Workers(w))
 			})
+			// The schedule ablation: the same wavefront plan under the
+			// pinned per-plane barrier sweep vs the doacross pipeline.
+			b.Run(fmt.Sprintf("%s/BarrierPar%d", sz.name, w), func(b *testing.B) {
+				run(b, ps.Workers(w), ps.WithSchedule(ps.ScheduleBarrier))
+			})
+			b.Run(fmt.Sprintf("%s/DoacrossPar%d", sz.name, w), func(b *testing.B) {
+				run(b, ps.Workers(w), ps.WithSchedule(ps.ScheduleDoacross))
+			})
 		}
 	}
 }

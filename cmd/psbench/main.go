@@ -1,0 +1,159 @@
+// Command psbench measures the wavefront execution variants on the
+// dependence-carrying corpus modules and writes the results as
+// machine-readable JSON, so the performance trajectory of the §4
+// schedules (sequential baseline, untransformed nest, barrier sweep,
+// doacross pipeline, auto selection) can be tracked across commits
+// without parsing `go test -bench` text.
+//
+// Usage:
+//
+//	psbench [-out BENCH_wavefront.json] [-workers N] [-benchtime 200ms]
+//
+// The output maps benchmark names (module/Variant) to ns/op:
+//
+//	{"workers": 4, "benchmarks": [
+//	  {"name": "gauss_seidel/Seq", "ns_per_op": 1842003, "runs": 8},
+//	  {"name": "gauss_seidel/DoacrossPar4", "ns_per_op": 612345, "runs": 21},
+//	  ...]}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/psrc"
+	"repro/ps"
+)
+
+// benchResult is one measured variant.
+type benchResult struct {
+	Name    string `json:"name"`
+	NsPerOp int64  `json:"ns_per_op"`
+	Runs    int    `json:"runs"`
+}
+
+// benchFile is the JSON document psbench writes.
+type benchFile struct {
+	Workers    int           `json:"workers"`
+	NumCPU     int           `json:"num_cpu"`
+	BenchTime  string        `json:"bench_time"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// workload is one module with concrete arguments.
+type workload struct {
+	name   string
+	src    string
+	module string
+	args   func() []any
+}
+
+// seedGrid builds an (m+2)×(m+2) grid with zero boundary.
+func seedGrid(m int64) *ps.Array {
+	a := ps.NewRealArray(ps.Axis{Lo: 0, Hi: m + 1}, ps.Axis{Lo: 0, Hi: m + 1})
+	for i := int64(1); i <= m; i++ {
+		for j := int64(1); j <= m; j++ {
+			a.SetF([]int64{i, j}, float64((i*31+j*17)%19)/19.0)
+		}
+	}
+	return a
+}
+
+func main() {
+	// testing.Init registers the -test.* flags so testing.Benchmark can
+	// be steered; -benchtime below maps onto -test.benchtime.
+	testing.Init()
+	out := flag.String("out", "BENCH_wavefront.json", "output JSON path (- for stdout)")
+	workers := flag.Int("workers", 0, "parallel worker count (0 = all CPUs, min 2)")
+	benchtime := flag.Duration("benchtime", 200*time.Millisecond, "minimum measuring time per variant")
+	flag.Parse()
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		fatal(err)
+	}
+
+	w := *workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w < 2 {
+		// One worker never exercises the parallel schedules; measure the
+		// dispatch overhead at minimal width instead of skipping them.
+		w = 2
+	}
+
+	workloads := []workload{
+		{"gauss_seidel", psrc.RelaxationGS, "Relaxation",
+			func() []any { return []any{seedGrid(96), int64(96), int64(6)} }},
+		{"wavefront2d", psrc.Wavefront2D, "Wavefront2D",
+			func() []any { return []any{seedGrid(128), int64(128)} }},
+	}
+	variants := []struct {
+		name string
+		opts []ps.RunOption
+	}{
+		{"Seq", []ps.RunOption{ps.Sequential()}},
+		{fmt.Sprintf("HyperOffPar%d", w), []ps.RunOption{ps.Workers(w), ps.WithHyperplane(ps.HyperplaneOff)}},
+		{fmt.Sprintf("AutoPar%d", w), []ps.RunOption{ps.Workers(w)}},
+		{fmt.Sprintf("BarrierPar%d", w), []ps.RunOption{ps.Workers(w), ps.WithSchedule(ps.ScheduleBarrier)}},
+		{fmt.Sprintf("DoacrossPar%d", w), []ps.RunOption{ps.Workers(w), ps.WithSchedule(ps.ScheduleDoacross)}},
+	}
+
+	doc := benchFile{Workers: w, NumCPU: runtime.NumCPU(), BenchTime: benchtime.String()}
+	eng := ps.NewEngine(ps.EngineWorkers(w))
+	defer eng.Close()
+	for _, wl := range workloads {
+		prog, err := eng.Compile(wl.name+".ps", wl.src)
+		if err != nil {
+			fatal(err)
+		}
+		args := wl.args()
+		for _, v := range variants {
+			run, err := prog.Prepare(wl.module, v.opts...)
+			if err != nil {
+				fatal(err)
+			}
+			// Warm once: allocations, pool spin-up, and the one-shot
+			// wavefront grain calibration all land outside the timing.
+			if _, _, err := run.Run(nil, args); err != nil {
+				fatal(err)
+			}
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := run.Run(nil, args); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			doc.Benchmarks = append(doc.Benchmarks, benchResult{
+				Name:    wl.name + "/" + v.name,
+				NsPerOp: res.NsPerOp(),
+				Runs:    res.N,
+			})
+			fmt.Fprintf(os.Stderr, "psbench: %-32s %12d ns/op (n=%d)\n",
+				wl.name+"/"+v.name, res.NsPerOp(), res.N)
+		}
+	}
+
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "psbench:", err)
+	os.Exit(1)
+}

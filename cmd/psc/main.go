@@ -5,7 +5,8 @@
 // Usage:
 //
 //	psc [-module name] [-dump c|flowchart|plan|components|graph|dot|virtual|source]
-//	    [-openmp] [-no-virtual] [-hyperplane auto|off] [-transform eq.N] file.ps
+//	    [-openmp] [-no-virtual] [-hyperplane auto|off]
+//	    [-schedule auto|barrier|doacross] [-transform eq.N] file.ps
 //
 // Examples:
 //
@@ -14,6 +15,7 @@
 //	psc -dump plan gs.ps                   # §4 auto-hyperplane wavefront step (π, window)
 //	psc -dump plan -hyperplane off gs.ps   # the untransformed DO nest
 //	psc -dump c -openmp relaxation.ps      # annotated C with OpenMP pragmas
+//	psc -dump c -openmp -schedule doacross gs.ps  # omp ordered/depend doacross nest
 //	psc -transform eq.3 gs.ps              # §4 hyperplane-transformed source
 package main
 
@@ -31,6 +33,7 @@ func main() {
 	openmp := flag.Bool("openmp", false, "emit #pragma omp parallel for above DOALL loops")
 	noVirtual := flag.Bool("no-virtual", false, "allocate every dimension physically")
 	hyper := flag.String("hyperplane", "auto", "automatic §4 wavefront restructuring of eligible sequential nests: auto or off")
+	schedule := flag.String("schedule", "auto", "wavefront form for -dump c: auto/barrier (per-plane parallel sweep) or doacross (omp ordered/depend pipelining)")
 	transform := flag.String("transform", "", "apply the §4 hyperplane transformation to the named equation and emit the rewritten PS source")
 	flag.Parse()
 
@@ -42,6 +45,11 @@ func main() {
 		planOpts.Hyperplane = ps.HyperplaneOff
 	default:
 		fmt.Fprintf(os.Stderr, "psc: invalid -hyperplane %q (want auto or off)\n", *hyper)
+		os.Exit(2)
+	}
+	sch, err := ps.ParseSchedule(*schedule)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psc: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -84,7 +92,7 @@ func main() {
 
 	switch *dump {
 	case "c":
-		c, err := m.GenerateCWith(planOpts, ps.CGenOptions{OpenMP: *openmp, NoVirtual: *noVirtual})
+		c, err := m.GenerateCWith(planOpts, ps.CGenOptions{OpenMP: *openmp, NoVirtual: *noVirtual, Schedule: sch})
 		if err != nil {
 			fatal(err)
 		}

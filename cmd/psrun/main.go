@@ -4,8 +4,8 @@
 // Usage:
 //
 //	psrun [-module name] [-workers N] [-seq] [-strict] [-grain N]
-//	      [-fused] [-hyperplane auto|off] [-timeout d] [-stats] [-explain]
-//	      [-in inputs.json] file.ps
+//	      [-fused] [-hyperplane auto|off] [-schedule auto|barrier|doacross]
+//	      [-timeout d] [-stats] [-explain] [-in inputs.json] file.ps
 //
 // The input file maps parameter names to values: scalars as JSON numbers
 // or booleans, arrays as (nested) JSON lists. Array parameter bounds are
@@ -45,6 +45,7 @@ func main() {
 	grain := flag.Int64("grain", 0, "minimum iterations per parallel chunk")
 	fused := flag.Bool("fused", false, "execute the loop-fused plan variant (§5)")
 	hyper := flag.String("hyperplane", "auto", "automatic §4 wavefront restructuring of eligible sequential nests: auto or off")
+	schedule := flag.String("schedule", "auto", "wavefront execution strategy: auto, barrier (per-plane fork/join) or doacross (pipelined tiles)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	stats := flag.Bool("stats", false, "print run statistics to stderr")
 	explain := flag.Bool("explain", false, "print the lowered loop plan and exit without running")
@@ -91,6 +92,11 @@ func main() {
 	default:
 		fatalUsage(fmt.Errorf("invalid -hyperplane %q (want auto or off)", *hyper))
 	}
+	sch, err := ps.ParseSchedule(*schedule)
+	if err != nil {
+		fatalUsage(err)
+	}
+	opts = append(opts, ps.WithSchedule(sch))
 	run, err := prog.Prepare(name, opts...)
 	if err != nil {
 		if prog.Module(name) == nil {

@@ -5,6 +5,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"slices"
 	"strconv"
 	"strings"
 	"testing"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/plan"
 	"repro/internal/psrc"
+	"repro/internal/sched"
 	"repro/internal/sem"
 	"repro/internal/types"
 	"repro/internal/value"
@@ -81,19 +83,42 @@ func TestGeneratedCNoVirtual(t *testing.T) {
 	}
 }
 
-// TestCompiledCMatchesInterpreter generates C for the relaxation module,
-// compiles it with the system C compiler, runs it, and compares every
-// element against the interpreter — validating the paper's actual
-// artifact end to end. Skipped when no C compiler is installed.
-func TestCompiledCMatchesInterpreter(t *testing.T) {
+// ccValidate is the shared compile-run-compare harness for the cc
+// validation tests: it generates C for the (M, maxK)-shaped module
+// modName of src under planOpts and genOpts, appends a main that seeds
+// the standard (M+2)² grid, builds it with every cc flag set, runs the
+// binaries, and requires every printed element to be bitwise equal to
+// the interpreter's sequential result. A flag set containing -fopenmp
+// that fails to compile is logged and skipped (old compilers); every
+// other build failure is fatal. Skipped entirely when no C compiler is
+// installed.
+func ccValidate(t *testing.T, src, modName string, planOpts plan.Options, genOpts cgen.Options, flagSets [][]string, m, maxK int64, requireWavefront bool) {
+	t.Helper()
 	ccPath, err := exec.LookPath("cc")
 	if err != nil {
 		t.Skip("no C compiler in PATH")
 	}
-	const m, maxK = 8, 5
-	cSrc, mod, sched := generate(t, psrc.Relaxation, "Relaxation", cgen.Options{})
-	_ = mod
-	_ = sched
+	prog, err := parser.ParseProgram("t.ps", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := sem.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := cp.Module(modName)
+	schd, err := core.Build(depgraph.Build(mod))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := plan.Lower(mod, schd, planOpts)
+	if requireWavefront && !pl.HasWavefront() {
+		t.Fatal("auto-hyperplane lowering produced no wavefront step")
+	}
+	cSrc, err := cgen.Generate(mod, pl, genOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	main := fmt.Sprintf(`
 #include <stdio.h>
@@ -107,30 +132,12 @@ int main(void) {
             if (i > 0 && i <= M && j > 0 && j <= M) v = (double)((i*31+j*17)%%19)/19.0;
             in[i*(M+2)+j] = v;
         }
-    Relaxation_result r = Relaxation(in, M, maxK);
+    %s_result r = %s(in, M, maxK);
     for (long i = 0; i < n; i++) printf("%%.17g\n", r.newA[i]);
     return 0;
 }
-`, m, maxK)
+`, m, maxK, modName, modName)
 
-	dir := t.TempDir()
-	cFile := filepath.Join(dir, "relax.c")
-	if err := os.WriteFile(cFile, []byte(cSrc+main), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	bin := filepath.Join(dir, "relax")
-	out, err := exec.Command(ccPath, "-O2", "-o", bin, cFile, "-lm").CombinedOutput()
-	if err != nil {
-		t.Fatalf("cc failed: %v\n%s\n--- generated C ---\n%s", err, out, cSrc)
-	}
-	got, err := exec.Command(bin).Output()
-	if err != nil {
-		t.Fatalf("run: %v", err)
-	}
-
-	// Interpreter reference.
-	prog, _ := parser.ParseProgram("t.ps", psrc.Relaxation)
-	cp, _ := sem.Check(prog)
 	ip, err := interp.Compile(cp)
 	if err != nil {
 		t.Fatal(err)
@@ -145,30 +152,58 @@ int main(void) {
 			in.SetF([]int64{i, j}, v)
 		}
 	}
-	res, err := ip.Run("Relaxation", []any{in, m, maxK}, interp.Options{Workers: 1})
+	res, err := ip.Run(modName, []any{in, m, maxK}, interp.Options{Sequential: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := res[0].(*value.Array)
 
-	lines := strings.Fields(strings.TrimSpace(string(got)))
-	if len(lines) != int((m+2)*(m+2)) {
-		t.Fatalf("C binary printed %d values, want %d", len(lines), (m+2)*(m+2))
+	dir := t.TempDir()
+	cFile := filepath.Join(dir, "mod.c")
+	if err := os.WriteFile(cFile, []byte(cSrc+main), 0o644); err != nil {
+		t.Fatal(err)
 	}
-	k := 0
-	for i := int64(0); i <= m+1; i++ {
-		for j := int64(0); j <= m+1; j++ {
-			cv, err := strconv.ParseFloat(lines[k], 64)
-			if err != nil {
-				t.Fatalf("parse %q: %v", lines[k], err)
+	for vi, flags := range flagSets {
+		bin := filepath.Join(dir, fmt.Sprintf("mod_%d", vi))
+		args := append(append([]string{}, flags...), "-o", bin, cFile, "-lm")
+		if out, err := exec.Command(ccPath, args...).CombinedOutput(); err != nil {
+			if slices.Contains(flags, "-fopenmp") {
+				t.Logf("cc has no -fopenmp (%v); skipping that variant\n%s", err, out)
+				continue
 			}
-			iv := want.GetF([]int64{i, j})
-			if cv != iv {
-				t.Fatalf("element [%d,%d]: C %g, interpreter %g", i, j, cv, iv)
+			t.Fatalf("cc %v failed: %v\n%s\n--- generated C ---\n%s", flags, err, out, cSrc)
+		}
+		got, err := exec.Command(bin).Output()
+		if err != nil {
+			t.Fatalf("run (%v): %v", flags, err)
+		}
+		lines := strings.Fields(strings.TrimSpace(string(got)))
+		if len(lines) != int((m+2)*(m+2)) {
+			t.Fatalf("C binary printed %d values, want %d", len(lines), (m+2)*(m+2))
+		}
+		k := 0
+		for i := int64(0); i <= m+1; i++ {
+			for j := int64(0); j <= m+1; j++ {
+				cv, err := strconv.ParseFloat(lines[k], 64)
+				if err != nil {
+					t.Fatalf("parse %q: %v", lines[k], err)
+				}
+				if iv := want.GetF([]int64{i, j}); cv != iv {
+					t.Fatalf("cc %v element [%d,%d]: C %g, interpreter %g", flags, i, j, cv, iv)
+				}
+				k++
 			}
-			k++
 		}
 	}
+}
+
+// TestCompiledCMatchesInterpreter generates C for the relaxation module,
+// compiles it with the system C compiler, runs it, and compares every
+// element against the interpreter — validating the paper's actual
+// artifact end to end.
+func TestCompiledCMatchesInterpreter(t *testing.T) {
+	ccValidate(t, psrc.Relaxation, "Relaxation", plan.Options{}, cgen.Options{},
+		[][]string{{"-O2"}}, 8, 5, false)
 }
 
 // TestGeneratedCWavefrontShape checks the auto-hyperplane C output: the
@@ -215,16 +250,20 @@ func TestGeneratedCWavefrontShape(t *testing.T) {
 }
 
 // TestCompiledCWavefrontMatchesInterpreter compiles the auto-hyperplane
-// C for the Gauss–Seidel module with the system C compiler, runs it,
-// and compares every element against the interpreter's sequential run —
-// the §4 tentpole validated end to end through the C backend. Skipped
-// when no C compiler is installed.
+// C for the Gauss-Seidel module with the system C compiler, runs it,
+// and compares every element against the interpreter's sequential run -
+// the barrier wavefront nest validated end to end through the C
+// backend.
 func TestCompiledCWavefrontMatchesInterpreter(t *testing.T) {
-	ccPath, err := exec.LookPath("cc")
-	if err != nil {
-		t.Skip("no C compiler in PATH")
-	}
-	const m, maxK = 9, 6
+	ccValidate(t, psrc.RelaxationGS, "Relaxation", plan.Options{Hyperplane: true},
+		cgen.Options{}, [][]string{{"-O2"}}, 9, 6, true)
+}
+
+// TestGeneratedCDoacrossShape checks the doacross wavefront form: the
+// whole transformed box as one perfectly nested rectangular nest under
+// "#pragma omp for ordered(n)", one depend(sink:) vector per distinct
+// transformed dependence, and the depend(source) completion mark.
+func TestGeneratedCDoacrossShape(t *testing.T) {
 	prog, err := parser.ParseProgram("t.ps", psrc.RelaxationGS)
 	if err != nil {
 		t.Fatal(err)
@@ -233,86 +272,56 @@ func TestCompiledCWavefrontMatchesInterpreter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mod := cp.Module("Relaxation")
-	sched, err := core.Build(depgraph.Build(mod))
+	m := cp.Module("Relaxation")
+	schd, err := core.Build(depgraph.Build(m))
 	if err != nil {
 		t.Fatal(err)
 	}
-	cSrc, err := cgen.Generate(mod, plan.Lower(mod, sched, plan.Options{Hyperplane: true}), cgen.Options{})
+	pl := plan.Lower(m, schd, plan.Options{Hyperplane: true})
+	c, err := cgen.Generate(m, pl, cgen.Options{OpenMP: true, Schedule: sched.PolicyDoacross})
 	if err != nil {
 		t.Fatal(err)
 	}
-
-	main := fmt.Sprintf(`
-#include <stdio.h>
-int main(void) {
-    long M = %d, maxK = %d;
-    long n = (M+2)*(M+2);
-    double *in = malloc(sizeof(double)*n);
-    for (long i = 0; i <= M+1; i++)
-        for (long j = 0; j <= M+1; j++) {
-            double v = 0;
-            if (i > 0 && i <= M && j > 0 && j <= M) v = (double)((i*31+j*17)%%19)/19.0;
-            in[i*(M+2)+j] = v;
-        }
-    Relaxation_result r = Relaxation(in, M, maxK);
-    for (long i = 0; i < n; i++) printf("%%.17g\n", r.newA[i]);
-    return 0;
+	for _, want := range []string{
+		"/* WAVEFRONT K, I, J: t = 2*K + I + J (pi = (2,1,1), window 3, doacross) */",
+		"#pragma omp for ordered(3) schedule(static, 1)",
+		// GS transformed deps: (2,1,0),(1,0,0),(1,0,1),(1,1,0),(1,1,-1).
+		"depend(sink: wf_0-2,wf_1-1,wf_2)",
+		"depend(sink: wf_0-1,wf_1,wf_2)",
+		"depend(sink: wf_0-1,wf_1,wf_2-1)",
+		"depend(sink: wf_0-1,wf_1-1,wf_2)",
+		"depend(sink: wf_0-1,wf_1-1,wf_2+1)",
+		"#pragma omp ordered depend(source)",
+		"const long J = wf_0 - 2*wf_1 - wf_2;",
+		"if (K >= K_lo && K <= K_hi && I >= I_lo && I <= I_hi && J >= J_lo && J <= J_hi)",
+	} {
+		if !strings.Contains(c, want) {
+			t.Errorf("doacross C missing %q\n%s", want, c)
+		}
+	}
+	// The doacross nest is rectangular: no per-plane tightening locals.
+	if strings.Contains(c, "wf_lo_") {
+		t.Errorf("doacross C still tightens plane bounds (non-rectangular ordered nest):\n%s", c)
+	}
+	// Without the doacross schedule the barrier form is unchanged.
+	barrier, err := cgen.Generate(m, pl, cgen.Options{OpenMP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(barrier, "ordered(") {
+		t.Errorf("barrier C contains doacross pragmas:\n%s", barrier)
+	}
 }
-`, m, maxK)
 
-	dir := t.TempDir()
-	cFile := filepath.Join(dir, "gs_wavefront.c")
-	if err := os.WriteFile(cFile, []byte(cSrc+main), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	bin := filepath.Join(dir, "gs_wavefront")
-	out, err := exec.Command(ccPath, "-O2", "-o", bin, cFile, "-lm").CombinedOutput()
-	if err != nil {
-		t.Fatalf("cc failed: %v\n%s\n--- generated C ---\n%s", err, out, cSrc)
-	}
-	got, err := exec.Command(bin).Output()
-	if err != nil {
-		t.Fatalf("run: %v", err)
-	}
-
-	ip, err := interp.Compile(cp)
-	if err != nil {
-		t.Fatal(err)
-	}
-	in := value.NewArray(types.RealKind, []value.Axis{{Lo: 0, Hi: m + 1}, {Lo: 0, Hi: m + 1}})
-	for i := int64(0); i <= m+1; i++ {
-		for j := int64(0); j <= m+1; j++ {
-			var v float64
-			if i > 0 && i <= m && j > 0 && j <= m {
-				v = float64((i*31+j*17)%19) / 19.0
-			}
-			in.SetF([]int64{i, j}, v)
-		}
-	}
-	res, err := ip.Run("Relaxation", []any{in, m, maxK}, interp.Options{Sequential: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := res[0].(*value.Array)
-
-	lines := strings.Fields(strings.TrimSpace(string(got)))
-	if len(lines) != int((m+2)*(m+2)) {
-		t.Fatalf("C binary printed %d values, want %d", len(lines), (m+2)*(m+2))
-	}
-	k := 0
-	for i := int64(0); i <= m+1; i++ {
-		for j := int64(0); j <= m+1; j++ {
-			cv, err := strconv.ParseFloat(lines[k], 64)
-			if err != nil {
-				t.Fatalf("parse %q: %v", lines[k], err)
-			}
-			if iv := want.GetF([]int64{i, j}); cv != iv {
-				t.Fatalf("element [%d,%d]: wavefront C %g, interpreter %g", i, j, cv, iv)
-			}
-			k++
-		}
-	}
+// TestCompiledCDoacrossMatchesInterpreter compiles the doacross form
+// (omp ordered/depend) and compares every element against the
+// interpreter. Without -fopenmp the pragmas are inert and the nest runs
+// the sweep sequentially in wavefront order; the -fopenmp variant
+// validates the parallel doacross binary when the compiler supports it.
+func TestCompiledCDoacrossMatchesInterpreter(t *testing.T) {
+	ccValidate(t, psrc.RelaxationGS, "Relaxation", plan.Options{Hyperplane: true},
+		cgen.Options{OpenMP: true, Schedule: sched.PolicyDoacross},
+		[][]string{{"-O2"}, {"-fopenmp", "-O2"}}, 9, 6, true)
 }
 
 // TestGeneratedCPipeline checks module-call code generation.

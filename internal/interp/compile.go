@@ -12,6 +12,8 @@ import (
 	"math"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/core"
@@ -83,6 +85,68 @@ type compiledPlan struct {
 	// allocs describes the result and local arrays allocated per
 	// activation, with §3.4 windows resolved at compile time.
 	allocs []allocInfo
+	// wfCost is the one-shot measured wavefront kernel cost in ns per
+	// executed point, written once (CAS from 0) by the first activation
+	// that times a plane; it calibrates the inline-plane threshold and
+	// the auto barrier/doacross choice. 0 until calibrated.
+	wfCost atomic.Int64
+}
+
+// defaultInlinePlane is the uncalibrated inline-plane threshold: planes
+// below it run on the sweeping goroutine instead of the pool.
+const defaultInlinePlane = 32
+
+// wfDispatchNs models the fixed cost of dispatching one plane to the
+// pool (wake, chunk claims, join); the calibrated threshold is the
+// plane size whose kernel work amortizes it.
+const wfDispatchNs = 8000
+
+// wavefrontGrain returns the plan's current inline-plane threshold:
+// the measured-cost calibration when available, the fixed default
+// before the first run.
+func (cp *compiledPlan) wavefrontGrain() int64 {
+	c := cp.wfCost.Load()
+	if c <= 0 {
+		return defaultInlinePlane
+	}
+	g := wfDispatchNs / c
+	if g < 8 {
+		g = 8
+	}
+	if g > 4096 {
+		g = 4096
+	}
+	return g
+}
+
+// noteWavefrontCost records the one-shot kernel-cost measurement; the
+// first writer wins, so concurrent activations calibrate once.
+func (cp *compiledPlan) noteWavefrontCost(points int64, elapsed time.Duration) {
+	if points <= 0 {
+		return
+	}
+	ns := elapsed.Nanoseconds() / points
+	if ns < 1 {
+		ns = 1
+	}
+	cp.wfCost.CompareAndSwap(0, ns)
+}
+
+// WavefrontGrain reports the inline-plane threshold the named module's
+// plan variant currently uses and the measured kernel cost it derives
+// from (nsPerPoint is 0 before the first run calibrates it). Runner
+// Explain surfaces both.
+func (p *Program) WavefrontGrain(name string, opts plan.Options) (grain, nsPerPoint int64) {
+	m := p.Prog.Module(name)
+	if m == nil {
+		return defaultInlinePlane, 0
+	}
+	cm := p.mods[m]
+	if cm == nil {
+		return defaultInlinePlane, 0
+	}
+	cp := cm.variant(opts.Fuse, opts.Hyperplane)
+	return cp.wavefrontGrain(), cp.wfCost.Load()
 }
 
 // allocInfo describes one array allocated at activation entry.

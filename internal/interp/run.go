@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/depgraph"
 	"repro/internal/par"
 	"repro/internal/plan"
+	"repro/internal/sched"
 	"repro/internal/sem"
 	"repro/internal/types"
 	"repro/internal/value"
@@ -27,7 +29,9 @@ type Options struct {
 	// NoVirtual disables window allocation, physically allocating every
 	// dimension (the ablation baseline for §3.4).
 	NoVirtual bool
-	// Grain is the minimum iterations per parallel chunk.
+	// Grain is the minimum iterations per parallel chunk; under the
+	// doacross wavefront schedule it also bounds the tile width on the
+	// blocked plane coordinate.
 	Grain int64
 	// Fuse selects the loop-fused plan variant (the §5 "merge iterative
 	// loops" extension), lowered once at compile time.
@@ -41,6 +45,13 @@ type Options struct {
 	// variant a runner executes — and Explain reports — is deterministic
 	// across hosts.
 	Hyperplane HyperplaneMode
+	// Schedule selects how wavefront steps execute on the pool: the
+	// per-plane barrier sweep, the doacross tile pipeline, or (the zero
+	// value) automatic per-activation selection — doacross when the
+	// plane width per worker is small relative to the measured kernel
+	// cost, where the barrier would dominate. Inert for sequential runs
+	// and plans without wavefront steps.
+	Schedule sched.Policy
 	// Pool, when non-nil, is a shared worker pool used for every DOALL of
 	// the activation tree instead of spawning a pool per activation. The
 	// run does not close it, and its worker count takes precedence over
@@ -82,6 +93,10 @@ type Stats struct {
 	// time step of every §4-restructured nest — so wavefront work stays
 	// distinguishable from plain DOALL chunking.
 	Planes atomic.Int64
+	// Doacross accumulates the pipelined wavefront executor's counters:
+	// tile instances, stalls (parked waits on predecessor tiles) and
+	// steals. All zero when every wavefront ran the barrier schedule.
+	Doacross sched.Stats
 }
 
 // RunError describes a failure while executing a module: which module,
@@ -601,112 +616,201 @@ func (p *Program) execDoAll(en *env, fr []int64, st *plan.Step, bodyLo int) {
 	}
 }
 
-// execWavefront runs one §4-restructured nest: a sequential sweep over
-// hyperplanes t = π·x, each plane a DOALL over the bounding box of the
-// remaining transformed coordinates. Per point the step's baked T⁻¹
-// recovers the original indices; points whose preimage falls outside
-// the original iteration box are skipped, so exactly the original
-// points execute, each once, with every dependence satisfied (π·d ≥ 1
-// places a point's inputs on strictly earlier planes, and in-plane
-// points are independent by construction).
-func (p *Program) execWavefront(en *env, fr []int64, st *plan.Step, bodyLo int) {
-	rs := en.rs
-	hy := st.Hyper
-	n := len(st.Dims)
-	var lo, hi [plan.MaxCollapse]int64
-	for j, slot := range st.Dims {
-		b := en.bounds[slot]
-		if b[1] < b[0] {
-			return // empty dimension: the nest has no iterations
-		}
-		lo[j], hi[j] = b[0], b[1]
-	}
-	// Interval bounds of each transformed coordinate row_r(T)·x over the
-	// original box; row 0 is the time axis.
-	var tlo, thi [plan.MaxCollapse]int64
-	for r := 0; r < n; r++ {
-		for j, c := range hy.T[r] {
-			if c >= 0 {
-				tlo[r] += c * lo[j]
-				thi[r] += c * hi[j]
-			} else {
-				tlo[r] += c * hi[j]
-				thi[r] += c * lo[j]
-			}
-		}
-	}
-	// Interval of each π_j·x_j term over the box, for per-plane
-	// tightening of basis plane coordinates (π is non-negative).
-	var piLoSum, piHiSum int64
-	for j := 0; j < n; j++ {
-		piLoSum += hy.Pi[j] * lo[j]
-		piHiSum += hy.Pi[j] * hi[j]
-	}
+// wfSpace is the resolved geometry of one wavefront activation: the
+// original iteration box, the interval bounds of every transformed
+// coordinate over it, and the π-term sums used for per-plane
+// tightening of basis coordinates. Both wavefront executors — the
+// barrier sweep and the doacross pipeline — work from the same space,
+// which is why they are bitwise identical.
+type wfSpace struct {
+	st  *plan.Step
+	hy  *plan.Hyper
+	n   int
+	eqi int
+	// lo, hi is the original iteration box.
+	lo, hi [plan.MaxCollapse]int64
+	// tlo, thi bounds each transformed coordinate row_r(T)·x over the
+	// box; row 0 is the time axis.
+	tlo, thi [plan.MaxCollapse]int64
+	// piLoSum, piHiSum bound Σ π_j·x_j over the box (π non-negative).
+	piLoSum, piHiSum int64
+}
+
+// resolve fills the space from the activation's bounds; false means
+// some dimension is empty and the nest has no iterations.
+func (w *wfSpace) resolve(en *env, st *plan.Step, bodyLo int) bool {
+	w.st, w.hy = st, st.Hyper
+	w.n = len(st.Dims)
 	// The body is exactly one equation step (tryWavefront guarantees
 	// it), so points invoke the kernel directly instead of re-entering
 	// the step dispatcher — the wavefront analogue of the DOALL leaf
 	// fast path.
-	eqi := en.cp.pl.Steps[bodyLo].Eq
+	w.eqi = en.cp.pl.Steps[bodyLo].Eq
+	for j, slot := range st.Dims {
+		b := en.bounds[slot]
+		if b[1] < b[0] {
+			return false
+		}
+		w.lo[j], w.hi[j] = b[0], b[1]
+	}
+	for r := 0; r < w.n; r++ {
+		for j, c := range w.hy.T[r] {
+			if c >= 0 {
+				w.tlo[r] += c * w.lo[j]
+				w.thi[r] += c * w.hi[j]
+			} else {
+				w.tlo[r] += c * w.hi[j]
+				w.thi[r] += c * w.lo[j]
+			}
+		}
+	}
+	for j := 0; j < w.n; j++ {
+		w.piLoSum += w.hy.Pi[j] * w.lo[j]
+		w.piHiSum += w.hy.Pi[j] * w.hi[j]
+	}
+	return true
+}
+
+// planeBounds computes plane t's coordinate ranges: start from the box
+// interval and, for plane coordinates that are original dimensions
+// (basis rows of T), solve π·x = t for that coordinate's feasible
+// range. This keeps the guarded slack per plane small even when the
+// time axis is much longer than the other dimensions. It returns the
+// plane's candidate-point count (0 for an empty plane).
+func (w *wfSpace) planeBounds(t int64, plo, phi *[plan.MaxCollapse]int64) int64 {
+	hy := w.hy
+	planeTotal := int64(1)
+	for r := 1; r < w.n; r++ {
+		l, h := w.tlo[r], w.thi[r]
+		if j := hy.Basis[r]; j >= 0 {
+			if c := hy.Pi[j]; c > 0 {
+				othersLo := w.piLoSum - c*w.lo[j]
+				othersHi := w.piHiSum - c*w.hi[j]
+				if q := ceilDiv(t-othersHi, c); q > l {
+					l = q
+				}
+				if q := floorDiv(t-othersLo, c); q < h {
+					h = q
+				}
+			}
+		}
+		if l > h {
+			return 0
+		}
+		plo[r], phi[r] = l, h
+		planeTotal *= h - l + 1
+	}
+	return planeTotal
+}
+
+// execPlaneBox runs total candidate points of plane t over the ranges
+// plo..phi on the calling goroutine, polling cancellation per point.
+func (p *Program) execPlaneBox(en *env, fr []int64, w *wfSpace, t int64, plo, phi *[plan.MaxCollapse]int64, total int64) {
+	var xpBuf, xBuf [plan.MaxCollapse]int64
+	xp, x := xpBuf[:w.n], xBuf[:w.n]
+	xp[0] = t
+	for r := 1; r < w.n; r++ {
+		xp[r] = plo[r]
+	}
+	preimage(w.hy.TInv, xp, x)
+	canceled := en.rs.canceled
+	for c := int64(0); c < total; c++ {
+		if canceled != nil && canceled.Load() {
+			panic(runtimeError{err: en.rs.ctx.Err()})
+		}
+		wavefrontPoint(en, fr, w.st, x, &w.lo, &w.hi, w.eqi)
+		advancePlane(xp, x, w.hy.TInv, plo, phi)
+	}
+}
+
+// useDoacross decides the wavefront execution strategy for one
+// activation. Forced policies win; auto chooses the doacross pipeline
+// when the average plane width per worker is below the inline-plane
+// threshold — the regime where the barrier sweep either runs most
+// planes inline (serially) or pays a pool dispatch whose fixed cost
+// rivals the plane's kernel work. The threshold is the calibrated
+// wavefront grain, so the auto decision sharpens after the first run
+// measures the kernel cost.
+func (p *Program) useDoacross(en *env, w *wfSpace) bool {
+	if w.hy.Window < 2 || len(w.hy.Pred) == 0 {
+		return false // no cross-plane dependence metadata to pipeline on
+	}
+	switch en.rs.opts.Schedule {
+	case sched.PolicyBarrier:
+		return false
+	case sched.PolicyDoacross:
+		return true
+	}
+	nplanes := w.thi[0] - w.tlo[0] + 1
+	points := int64(1)
+	for j := 0; j < w.n; j++ {
+		points *= w.hi[j] - w.lo[j] + 1
+	}
+	avgWidth := points / nplanes
+	if avgWidth < 1 {
+		avgWidth = 1
+	}
+	return avgWidth < en.cp.wavefrontGrain()*int64(en.rs.pool.Workers())
+}
+
+// execWavefront runs one §4-restructured nest: hyperplanes t = π·x
+// executed in dependence order, each plane a parallel traversal of the
+// bounding box of the remaining transformed coordinates. Per point the
+// step's baked T⁻¹ recovers the original indices; points whose
+// preimage falls outside the original iteration box are skipped, so
+// exactly the original points execute, each once, with every
+// dependence satisfied (π·d ≥ 1 places a point's inputs on strictly
+// earlier planes, and in-plane points are independent by
+// construction). Parallel activations choose between two strategies:
+// the barrier sweep below (one fork/join per plane) and the doacross
+// tile pipeline of execWavefrontDoacross.
+func (p *Program) execWavefront(en *env, fr []int64, st *plan.Step, bodyLo int) {
+	rs := en.rs
+	var w wfSpace
+	if !w.resolve(en, st, bodyLo) {
+		return // empty dimension: the nest has no iterations
+	}
+	noPool := rs.pool == nil || en.inParallel || rs.pool.Workers() == 1
+	if !noPool && p.useDoacross(en, &w) {
+		p.execWavefrontDoacross(en, fr, &w)
+		return
+	}
+	hy, n := w.hy, w.n
 	canceled := rs.canceled
 	// Planes too small to amortize a pool dispatch run inline — the
-	// narrow leading and trailing hyperplanes of every sweep.
-	const inlinePlane = 32
-	noPool := rs.pool == nil || en.inParallel || rs.pool.Workers() == 1
+	// narrow leading and trailing hyperplanes of every sweep. The
+	// threshold starts at the fixed default and is re-read after the
+	// first plane calibrates the measured kernel cost.
+	inline := en.cp.wavefrontGrain()
 	cm := en.cm
 
-	for t := tlo[0]; t <= thi[0]; t++ {
+	for t := w.tlo[0]; t <= w.thi[0]; t++ {
 		if canceled != nil && canceled.Load() {
 			panic(runtimeError{err: rs.ctx.Err()})
 		}
-		// Per-plane bounds: start from the box interval and, for plane
-		// coordinates that are original dimensions (basis rows of T),
-		// solve π·x = t for that coordinate's feasible range. This keeps
-		// the guarded slack per plane small even when the time axis is
-		// much longer than the other dimensions.
 		var plo, phi [plan.MaxCollapse]int64
-		planeTotal := int64(1)
-		for r := 1; r < n; r++ {
-			l, h := tlo[r], thi[r]
-			if j := hy.Basis[r]; j >= 0 {
-				if c := hy.Pi[j]; c > 0 {
-					othersLo := piLoSum - c*lo[j]
-					othersHi := piHiSum - c*hi[j]
-					if q := ceilDiv(t-othersHi, c); q > l {
-						l = q
-					}
-					if q := floorDiv(t-othersLo, c); q < h {
-						h = q
-					}
-				}
-			}
-			if l > h {
-				planeTotal = 0
-				break
-			}
-			plo[r], phi[r] = l, h
-			planeTotal *= h - l + 1
-		}
+		planeTotal := w.planeBounds(t, &plo, &phi)
 		if planeTotal == 0 {
 			continue // no candidate points on this hyperplane
 		}
 		if rs.stats != nil {
 			rs.stats.Planes.Add(1)
 		}
-		if noPool || planeTotal < inlinePlane {
-			var xpBuf, xBuf [plan.MaxCollapse]int64
-			xp, x := xpBuf[:n], xBuf[:n]
-			xp[0] = t
-			for r := 1; r < n; r++ {
-				xp[r] = plo[r]
-			}
-			preimage(hy.TInv, xp, x)
-			for c := int64(0); c < planeTotal; c++ {
-				if canceled != nil && canceled.Load() {
-					panic(runtimeError{err: rs.ctx.Err()})
+		if noPool || planeTotal < inline {
+			if en.cp.wfCost.Load() == 0 && planeTotal >= 8 {
+				// One-shot grain calibration: time this inline plane and
+				// derive the per-plan threshold from its measured kernel
+				// cost (executed points, not box slack).
+				before := en.eqCount
+				start := time.Now()
+				p.execPlaneBox(en, fr, &w, t, &plo, &phi, planeTotal)
+				if executed := en.eqCount - before; executed > 0 {
+					en.cp.noteWavefrontCost(executed, time.Since(start))
+					inline = en.cp.wavefrontGrain()
 				}
-				wavefrontPoint(en, fr, st, x, &lo, &hi, eqi)
-				advancePlane(xp, x, hy.TInv, &plo, &phi)
+				continue
 			}
+			p.execPlaneBox(en, fr, &w, t, &plo, &phi, planeTotal)
 			continue
 		}
 
@@ -761,7 +865,7 @@ func (p *Program) execWavefront(en *env, fr []int64, st *plan.Step, bodyLo int) 
 			}
 			preimage(hy.TInv, xp, x)
 			for li := start; ; li++ {
-				wavefrontPoint(sub, wfr, st, x, &lo, &hi, eqi)
+				wavefrontPoint(sub, wfr, w.st, x, &w.lo, &w.hi, w.eqi)
 				if li == end {
 					break
 				}
@@ -775,6 +879,142 @@ func (p *Program) execWavefront(en *env, fr []int64, st *plan.Step, bodyLo int) 
 			panic(runtimeError{err: rs.ctx.Err()})
 		}
 	}
+}
+
+// execWavefrontDoacross runs a wavefront nest as a doacross pipeline:
+// the widest plane coordinate is blocked into tiles on a fixed global
+// grid, each tile carries an atomic completion counter, and a tile
+// entering plane t waits point-to-point only on the predecessor tiles
+// the plan's dependence window implies (internal/sched) — no per-plane
+// pool barrier, so successive hyperplanes overlap. Tile instances
+// compute the same tightened plane bounds as the barrier sweep and run
+// the same kernels at the same points, so the two schedules are
+// bitwise identical.
+func (p *Program) execWavefrontDoacross(en *env, fr []int64, w *wfSpace) {
+	rs := en.rs
+	hy := w.hy
+	// Block the plane coordinate with the widest transformed span: more
+	// tiles means a deeper pipeline, and every other coordinate stays
+	// whole within a tile so only one shift table is consulted.
+	blk := 1
+	for r := 2; r < w.n; r++ {
+		if w.thi[r]-w.tlo[r] > w.thi[blk]-w.tlo[blk] {
+			blk = r
+		}
+	}
+	nest := sched.Nest{
+		TLo: w.tlo[0], THi: w.thi[0],
+		CoordLo: w.tlo[blk], CoordHi: w.thi[blk],
+		Window:  hy.Window,
+		Preds:   hy.Pred[blk-1],
+		Workers: rs.pool.Workers(),
+		// Options.Grain is the minimum iterations per parallel chunk; for
+		// the doacross schedule the chunk is a tile, so the grain bounds
+		// the tile width on the blocked coordinate (0 keeps the default
+		// span/(workers×TilesPerWorker) blocking).
+		TileWidth: rs.opts.Grain,
+	}
+	var doStats *sched.Stats
+	if rs.stats != nil {
+		doStats = &rs.stats.Doacross
+	}
+	var panicOnce sync.Once
+	var panicked any
+	canceled := rs.canceled
+	completed := sched.Run(nest, rs.pool, rs.cancelChan(), func(_ int, t int64, k int, blo, bhi int64) bool {
+		// Most tile instances of a narrow plane are empty (the tile grid
+		// is global, the tightened plane is not), so the bounds check
+		// runs before any pooled-state setup.
+		var plo, phi [plan.MaxCollapse]int64
+		total := w.planeBounds(t, &plo, &phi)
+		if total == 0 {
+			return true // empty plane: the instance completes immediately
+		}
+		if k == 0 && rs.stats != nil {
+			// Tile 0 exists on every plane, so it counts each non-empty
+			// plane exactly once — keeping WavefrontPlanes comparable
+			// with the barrier schedule.
+			rs.stats.Planes.Add(1)
+		}
+		// Clamp the blocked coordinate to this tile's slice.
+		if plo[blk] < blo {
+			plo[blk] = blo
+		}
+		if phi[blk] > bhi {
+			phi[blk] = bhi
+		}
+		if plo[blk] > phi[blk] {
+			return true // tightening left nothing in this tile
+		}
+		total = 1
+		for r := 1; r < w.n; r++ {
+			total *= phi[r] - plo[r] + 1
+		}
+		ok := p.execDoacrossTile(en, fr, w, t, &plo, &phi, total, &panicOnce, &panicked)
+		return ok && !(canceled != nil && canceled.Load())
+	}, doStats)
+	if panicked != nil {
+		panic(panicked)
+	}
+	if !completed {
+		panic(runtimeError{err: rs.ctx.Err()})
+	}
+}
+
+// execDoacrossTile runs one non-empty tile instance on pooled worker
+// state, capturing runtime failures the way DOALL chunks do; false
+// means a panic was recorded and the run must abort.
+func (p *Program) execDoacrossTile(en *env, fr []int64, w *wfSpace, t int64, plo, phi *[plan.MaxCollapse]int64, total int64, panicOnce *sync.Once, panicked *any) (ok bool) {
+	rs := en.rs
+	cm := en.cm
+	ws, _ := cm.ws.Get().(*workerState)
+	if ws == nil {
+		ws = &workerState{}
+	}
+	if cap(ws.fr) < len(fr) {
+		ws.fr = make([]int64, len(fr))
+	}
+	wfr := ws.fr[:len(fr)]
+	copy(wfr, fr)
+	ws.en = *en
+	sub := &ws.en
+	sub.inParallel = true
+	sub.eqCount = 0
+	ok = true
+	defer func() {
+		if rs.stats != nil {
+			rs.stats.EqInstances.Add(sub.eqCount)
+		}
+		if r := recover(); r != nil {
+			switch e := r.(type) {
+			case runtimeError:
+				if e.eq == "" {
+					e.eq = sub.eqLabel()
+				}
+				panicOnce.Do(func() { *panicked = e })
+			case value.Error:
+				panicOnce.Do(func() { *panicked = runtimeError{err: e, eq: sub.eqLabel()} })
+			default:
+				panicOnce.Do(func() { *panicked = r })
+			}
+			ok = false // stop scheduling; the panic re-raises after Run
+		}
+		cm.ws.Put(ws)
+	}()
+	// Tiles are narrow by construction, so calibration accepts any
+	// instance with at least two executed points; the threshold it
+	// feeds is clamped, which bounds the effect of timing noise.
+	if en.cp.wfCost.Load() == 0 && total >= 2 {
+		before := sub.eqCount
+		start := time.Now()
+		p.execPlaneBox(sub, wfr, w, t, plo, phi, total)
+		if executed := sub.eqCount - before; executed > 0 {
+			en.cp.noteWavefrontCost(executed, time.Since(start))
+		}
+		return ok
+	}
+	p.execPlaneBox(sub, wfr, w, t, plo, phi, total)
+	return ok
 }
 
 // ceilDiv and floorDiv divide with rounding toward +∞/−∞; b must be

@@ -17,6 +17,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/core"
 	"repro/internal/hyperplane"
+	"repro/internal/sched"
 	"repro/internal/sem"
 	"repro/internal/types"
 )
@@ -111,6 +112,46 @@ type Hyper struct {
 	// Window is 1 + the largest transformed first dependence component —
 	// the number of consecutive hyperplanes a plane's inputs span.
 	Window int
+	// TDeps are the transformed dependence vectors T·d, one per
+	// constant-offset self-reference of the recurrence; every first
+	// component is ≥ 1 (π·d ≥ 1). They are the doacross schedule's raw
+	// material: the `depend(sink:)` vectors of the generated C and the
+	// source of the predecessor-tile offsets below.
+	TDeps [][]int64
+	// Pred[r-1][dt-1] bounds the coordinate-r shift of the dependences
+	// reaching dt hyperplanes back (r = 1..n-1 plane coordinates,
+	// dt = 1..Window-1): a point with plane coordinate c on plane t
+	// reads coordinates [c-Hi, c-Lo] on plane t-dt. The doacross
+	// executor blocks one plane coordinate into tiles and waits only on
+	// the predecessor tiles this table implies.
+	Pred [][]sched.PredRange
+}
+
+// predRanges folds the transformed dependence vectors into the
+// per-coordinate predecessor-offset table.
+func predRanges(tdeps [][]int64, n, window int) [][]sched.PredRange {
+	pred := make([][]sched.PredRange, n-1)
+	for r := 1; r < n; r++ {
+		pred[r-1] = make([]sched.PredRange, window-1)
+		for _, d := range tdeps {
+			dt := int(d[0])
+			if dt < 1 || dt > window-1 {
+				continue
+			}
+			pr := &pred[r-1][dt-1]
+			if !pr.Has {
+				*pr = sched.PredRange{Has: true, Lo: d[r], Hi: d[r]}
+				continue
+			}
+			if d[r] < pr.Lo {
+				pr.Lo = d[r]
+			}
+			if d[r] > pr.Hi {
+				pr.Hi = d[r]
+			}
+		}
+	}
+	return pred
 }
 
 // piString renders the time function over the step's dimension names,
@@ -369,6 +410,12 @@ func (lw *lowerer) tryWavefront(l *core.LoopDesc) bool {
 func (lw *lowerer) emitWavefront(an *hyperplane.Analysis, eq *sem.Equation) {
 	n := len(an.Dims)
 	hy := &Hyper{Pi: an.Pi, Window: an.Window}
+	for _, d := range an.TransformedDeps {
+		td := make([]int64, len(d.Vec))
+		copy(td, d.Vec)
+		hy.TDeps = append(hy.TDeps, td)
+	}
+	hy.Pred = predRanges(hy.TDeps, n, an.Window)
 	for r := 0; r < n; r++ {
 		hy.T = append(hy.T, an.T.Row(r))
 		hy.TInv = append(hy.TInv, an.TInv.Row(r))
@@ -484,8 +531,13 @@ func (p *Program) String() string {
 			for j, s := range st.Dims {
 				names[j] = p.Bounds[s].Subrange.Name
 			}
-			fmt.Fprintf(&sb, "wavefront %s  t = %s, pi = %s, window %d\n",
-				strings.Join(names, ", "), st.Hyper.piString(names), vecString(st.Hyper.Pi), st.Hyper.Window)
+			tdeps := make([]string, len(st.Hyper.TDeps))
+			for j, d := range st.Hyper.TDeps {
+				tdeps[j] = vecString(d)
+			}
+			fmt.Fprintf(&sb, "wavefront %s  t = %s, pi = %s, window %d, tdeps %s\n",
+				strings.Join(names, ", "), st.Hyper.piString(names), vecString(st.Hyper.Pi), st.Hyper.Window,
+				strings.Join(tdeps, ""))
 			depth = append(depth, st.End)
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/plan"
 	"repro/internal/psrc"
+	"repro/internal/sched"
 	"repro/internal/sem"
 )
 
@@ -180,6 +181,55 @@ func TestLowerWavefront(t *testing.T) {
 	}
 	if got, want := p.Compact(), "DOALL I×J (eq.1); WAVEFRONT[pi=(2,1,1)] K×I×J (eq.3); DOALL I×J (eq.2)"; got != want {
 		t.Errorf("Compact = %q, want %q", got, want)
+	}
+}
+
+// TestWavefrontSchedMetadata checks the doacross schedule metadata baked
+// onto the wavefront step: the transformed dependence vectors T·d (the
+// paper's (1,0,0),(1,0,1),(1,1,0),(1,1,-1),(2,1,0) for Gauss–Seidel) and
+// the predecessor-offset table folded per plane coordinate and plane
+// distance.
+func TestWavefrontSchedMetadata(t *testing.T) {
+	p := lower(t, psrc.RelaxationGS, "Relaxation", plan.Options{Hyperplane: true})
+	var hy *plan.Hyper
+	for i := range p.Steps {
+		if p.Steps[i].Op == plan.OpWavefront {
+			hy = p.Steps[i].Hyper
+			break
+		}
+	}
+	if hy == nil {
+		t.Fatal("no wavefront step")
+	}
+	if len(hy.TDeps) != 5 {
+		t.Fatalf("TDeps = %v, want 5 vectors", hy.TDeps)
+	}
+	for _, d := range hy.TDeps {
+		if d[0] < 1 {
+			t.Errorf("transformed dependence %v has first component < 1", d)
+		}
+		if int(d[0]) > hy.Window-1 {
+			t.Errorf("transformed dependence %v exceeds window %d", d, hy.Window)
+		}
+	}
+	// Plane coordinates are (K, I); window 3 gives offsets for dt 1 and 2.
+	if len(hy.Pred) != 2 || len(hy.Pred[0]) != 2 {
+		t.Fatalf("Pred shape = %dx%d, want 2x2", len(hy.Pred), len(hy.Pred[0]))
+	}
+	// dt=1 deps are (1,0,0),(1,0,1),(1,1,0),(1,1,-1): K shifts in [0,1],
+	// I shifts in [-1,1]. dt=2 dep is (2,1,0): K shift 1, I shift 0.
+	check := func(pr sched.PredRange, lo, hi int64, what string) {
+		if !pr.Has || pr.Lo != lo || pr.Hi != hi {
+			t.Errorf("%s = %+v, want [%d,%d]", what, pr, lo, hi)
+		}
+	}
+	check(hy.Pred[0][0], 0, 1, "Pred[K][dt=1]")
+	check(hy.Pred[0][1], 1, 1, "Pred[K][dt=2]")
+	check(hy.Pred[1][0], -1, 1, "Pred[I][dt=1]")
+	check(hy.Pred[1][1], 0, 0, "Pred[I][dt=2]")
+	// The listing surfaces the schedule metadata for the golden files.
+	if !strings.Contains(p.String(), "tdeps (2,1,0)(1,0,0)(1,0,1)(1,1,0)(1,1,-1)") {
+		t.Errorf("plan listing missing tdeps:\n%s", p.String())
 	}
 }
 

@@ -55,6 +55,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/parser"
 	"repro/internal/plan"
+	"repro/internal/sched"
 	"repro/internal/sem"
 	"repro/internal/types"
 	"repro/internal/value"
@@ -164,7 +165,9 @@ func Strict() RunOption { return func(o *interp.Options) { o.Strict = true } }
 // NoVirtual disables §3.4 window allocation (every dimension physical).
 func NoVirtual() RunOption { return func(o *interp.Options) { o.NoVirtual = true } }
 
-// Grain sets the minimum iterations per parallel chunk.
+// Grain sets the minimum iterations per parallel chunk; under the
+// doacross wavefront schedule it also sets the tile width on the
+// blocked plane coordinate.
 func Grain(n int64) RunOption { return func(o *interp.Options) { o.Grain = n } }
 
 // Fused executes the loop-fused schedule variant (§5 extension).
@@ -190,6 +193,39 @@ const (
 func WithHyperplane(mode HyperplaneMode) RunOption {
 	return func(o *interp.Options) { o.Hyperplane = mode }
 }
+
+// Schedule selects how wavefront steps execute on the worker pool (see
+// WithSchedule).
+type Schedule = sched.Policy
+
+const (
+	// ScheduleAuto (the default) picks per activation: doacross when
+	// the plane width per worker is small relative to the measured
+	// kernel cost — the regime where the barrier sweep's per-plane
+	// fork/join dominates — and barrier otherwise.
+	ScheduleAuto = sched.PolicyAuto
+	// ScheduleBarrier always sweeps hyperplanes with one pool-wide
+	// fork/join barrier per plane.
+	ScheduleBarrier = sched.PolicyBarrier
+	// ScheduleDoacross always runs the pipelined tile schedule: the
+	// plane is blocked into tiles with atomic completion counters, and
+	// workers wait point-to-point only on the predecessor tiles implied
+	// by the dependence window, so successive hyperplanes overlap.
+	ScheduleDoacross = sched.PolicyDoacross
+)
+
+// WithSchedule selects the wavefront execution strategy for a Runner
+// (or, via EngineDefaults, for every Runner of an engine): barrier,
+// doacross, or automatic per-activation selection. Both strategies are
+// bitwise identical; the choice is purely about synchronization cost.
+// Inert for sequential runs and modules without wavefront steps.
+func WithSchedule(s Schedule) RunOption {
+	return func(o *interp.Options) { o.Schedule = s }
+}
+
+// ParseSchedule resolves a -schedule flag value ("auto", "barrier" or
+// "doacross") to the Schedule the CLIs pass to WithSchedule.
+func ParseSchedule(s string) (Schedule, error) { return sched.ParsePolicy(s) }
 
 // Run executes the named module. Scalar arguments are Go ints, float64s,
 // bools or strings; array arguments are *ps.Array. One value is returned

@@ -94,15 +94,29 @@ func (r *Runner) Explain() string {
 	if r.opts.Hyperplane == HyperplaneOff {
 		mode += ", hyperplane off"
 	}
-	pl := r.prog.ip.Plan(r.mod.sem.Name, plan.Options{Fuse: o.Fuse, Hyperplane: o.EffectiveHyperplane()})
+	planOpts := plan.Options{Fuse: o.Fuse, Hyperplane: o.EffectiveHyperplane()}
+	pl := r.prog.ip.Plan(r.mod.sem.Name, planOpts)
 	variant := "base plan"
 	if r.opts.Fuse {
 		variant = "fused plan"
 	}
 	if pl.HasWavefront() {
 		variant = "auto-hyperplane " + variant
+		mode += ", schedule " + r.opts.Schedule.String()
 	}
 	fmt.Fprintf(&sb, "runner %s: %s, %s\n", r.mod.Name(), mode, variant)
+	if pl.HasWavefront() && !r.opts.Sequential {
+		// The inline-plane threshold starts at the fixed default and is
+		// calibrated once from the measured kernel cost; after this
+		// runner (or any runner sharing the compiled plan) has run, the
+		// calibration shows up here.
+		grain, cost := r.prog.ip.WavefrontGrain(r.mod.sem.Name, planOpts)
+		if cost > 0 {
+			fmt.Fprintf(&sb, "wavefront grain: %d points/plane (calibrated: %d ns/point)\n", grain, cost)
+		} else {
+			fmt.Fprintf(&sb, "wavefront grain: %d points/plane default (calibrated from measured kernel cost at first run)\n", grain)
+		}
+	}
 	sb.WriteString(pl.String())
 	return sb.String()
 }
@@ -132,6 +146,9 @@ func (r *Runner) Run(ctx context.Context, args []any) ([]any, *RunStats, error) 
 		EquationInstances: st.EqInstances.Load(),
 		DOALLChunks:       st.Chunks.Load(),
 		WavefrontPlanes:   st.Planes.Load(),
+		DoacrossTiles:     st.Doacross.Tiles.Load(),
+		DoacrossStalls:    st.Doacross.Stalls.Load(),
+		DoacrossSteals:    st.Doacross.Steals.Load(),
 		Workers:           effectiveWorkers(o),
 		WallTime:          time.Since(start),
 	}

@@ -24,6 +24,19 @@ type RunStats struct {
 	// transformed nest, distinguishing wavefront sweeps from plain DOALL
 	// chunking. Zero when no wavefront step executed.
 	WavefrontPlanes int64
+	// DoacrossTiles is the number of tile instances executed by the
+	// doacross (pipelined) wavefront schedule — one per tile per
+	// hyperplane. Zero when every wavefront ran the barrier schedule.
+	DoacrossTiles int64
+	// DoacrossStalls counts the times a doacross worker found no ready
+	// tile instance and parked until a predecessor completed — the
+	// schedule's residual synchronization cost (a barrier sweep instead
+	// pays workers×planes joins).
+	DoacrossStalls int64
+	// DoacrossSteals counts tile instances executed by a worker other
+	// than the tile's home worker: how often work stealing rebalanced
+	// the pipeline.
+	DoacrossSteals int64
 	// Workers is the worker count the run was configured with (1 for
 	// sequential runs).
 	Workers int
@@ -33,6 +46,7 @@ type RunStats struct {
 
 // String renders the stats on one line.
 func (s *RunStats) String() string {
-	return fmt.Sprintf("eq_instances=%d doall_chunks=%d wavefront_planes=%d workers=%d wall=%s",
-		s.EquationInstances, s.DOALLChunks, s.WavefrontPlanes, s.Workers, s.WallTime)
+	return fmt.Sprintf("eq_instances=%d doall_chunks=%d wavefront_planes=%d doacross_tiles=%d doacross_stalls=%d doacross_steals=%d workers=%d wall=%s",
+		s.EquationInstances, s.DOALLChunks, s.WavefrontPlanes,
+		s.DoacrossTiles, s.DoacrossStalls, s.DoacrossSteals, s.Workers, s.WallTime)
 }

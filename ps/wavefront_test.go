@@ -3,6 +3,7 @@ package ps_test
 import (
 	"context"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -82,6 +83,162 @@ func TestWavefrontStats(t *testing.T) {
 		if st.WavefrontPlanes != 0 {
 			t.Errorf("%s: WavefrontPlanes = %d, want 0", tc.name, st.WavefrontPlanes)
 		}
+	}
+}
+
+// TestDoacrossStats pins the doacross counters on a forced pipelined
+// run: tiles execute (and are attributed to the run), results match the
+// barrier schedule bitwise, and the counters stay zero under the
+// barrier policy and for sequential runs — so RunStats cleanly tells
+// the two wavefront strategies apart.
+func TestDoacrossStats(t *testing.T) {
+	const n = 40
+	eng := ps.NewEngine(ps.EngineWorkers(2))
+	defer eng.Close()
+	prog, err := eng.Compile("wf2d.ps", psrc.Wavefront2D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []any{seedGrid(n), int64(n)}
+
+	barrier, err := prog.Prepare("Wavefront2D", ps.WithSchedule(ps.ScheduleBarrier))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes, bStats, err := barrier.Run(context.Background(), args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bStats.DoacrossTiles != 0 || bStats.DoacrossStalls != 0 || bStats.DoacrossSteals != 0 {
+		t.Errorf("barrier run reports doacross counters: %s", bStats)
+	}
+	want, err := ps.ResultsToJSON(prog, "Wavefront2D", wantRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run, err := prog.Prepare("Wavefront2D", ps.WithSchedule(ps.ScheduleDoacross))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := run.Run(context.Background(), args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ps.ResultsToJSON(prog, "Wavefront2D", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("doacross run diverges from the barrier schedule")
+	}
+	if stats.DoacrossTiles == 0 {
+		t.Error("doacross run executed no tiles")
+	}
+	// The sweep still counts hyperplanes: pi=(1,1) over [0,N+1]² has
+	// 2(N+1)+1 non-empty planes regardless of schedule.
+	if want := int64(2*(n+1) + 1); stats.WavefrontPlanes != want {
+		t.Errorf("WavefrontPlanes = %d, want %d", stats.WavefrontPlanes, want)
+	}
+	for _, probe := range []string{"doacross_tiles=", "doacross_stalls=", "doacross_steals="} {
+		if !strings.Contains(stats.String(), probe) {
+			t.Errorf("stats string missing %q: %s", probe, stats)
+		}
+	}
+
+	seq, err := prog.Prepare("Wavefront2D", ps.Sequential(), ps.WithSchedule(ps.ScheduleDoacross))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sStats, err := seq.Run(context.Background(), args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sStats.DoacrossTiles != 0 {
+		t.Errorf("sequential run executed doacross tiles: %s", sStats)
+	}
+}
+
+// TestDoacrossStalls checks the residual-synchronization counters are
+// actually wired end to end: a pipeline with many more tiles than
+// workers forces workers off their home spans (steals) and, when a
+// predecessor tile is still in flight past the spin window, parks them
+// (stalls). Which of the two fires on a given run depends on scheduler
+// timing, so the test accumulates over a serialized-pipeline shape
+// until either counter is non-zero — if the sched package stopped
+// reporting both, every attempt returns zero and the test fails.
+func TestDoacrossStalls(t *testing.T) {
+	eng := ps.NewEngine(ps.EngineWorkers(4))
+	defer eng.Close()
+	prog, err := eng.Compile("gs.ps", psrc.RelaxationGS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grain 13 over the I span of 26 gives two fat tiles; window 3 makes
+	// tile 1 wait on tile 0's in-flight planes, the shape most likely to
+	// exhaust the spin window and park.
+	run, err := prog.Prepare("Relaxation", ps.WithSchedule(ps.ScheduleDoacross), ps.Grain(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := prog.Prepare("Relaxation", ps.WithSchedule(ps.ScheduleDoacross))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m, maxK = 24, 12
+	args := []any{seedGrid(m), int64(m), int64(maxK)}
+	var stalls, steals int64
+	for attempt := 0; attempt < 25 && stalls+steals == 0; attempt++ {
+		for _, r := range []*ps.Runner{run, wide} {
+			_, stats, err := r.Run(context.Background(), args)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.DoacrossTiles == 0 {
+				t.Fatal("doacross schedule did not engage")
+			}
+			if stats.DoacrossTiles < stats.WavefrontPlanes {
+				t.Errorf("fewer tiles than planes (%d < %d): planes were not blocked",
+					stats.DoacrossTiles, stats.WavefrontPlanes)
+			}
+			stalls += stats.DoacrossStalls
+			steals += stats.DoacrossSteals
+		}
+	}
+	if stalls+steals == 0 {
+		t.Error("50 pipelined runs recorded neither stalls nor steals: residual-sync counters are not wired")
+	}
+	t.Logf("accumulated stalls=%d steals=%d", stalls, steals)
+}
+
+// TestDoacrossCancellation aborts a long forced-doacross sweep
+// mid-flight: per-tile cancellation polling must notice the context
+// within a few tiles and return the typed cancellation error.
+func TestDoacrossCancellation(t *testing.T) {
+	eng := ps.NewEngine(ps.EngineWorkers(2))
+	defer eng.Close()
+	prog, err := eng.Compile("gs.ps", psrc.RelaxationGS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := prog.Prepare("Relaxation", ps.WithSchedule(ps.ScheduleDoacross))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m, maxK = 64, 1 << 18
+	in := seedGrid(m)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err = run.Run(ctx, []any{in, int64(m), int64(maxK)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("doacross cancellation took %v", elapsed)
 	}
 }
 

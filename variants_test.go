@@ -129,6 +129,17 @@ func TestVariantParity(t *testing.T) {
 		{"HyperOffPar4", []ps.RunOption{ps.Workers(4), ps.WithHyperplane(ps.HyperplaneOff)}},
 		{"HyperOffPar3Grain8", []ps.RunOption{ps.Workers(3), ps.Grain(8), ps.WithHyperplane(ps.HyperplaneOff)}},
 		{"HyperOffFusedPar4", []ps.RunOption{ps.Workers(4), ps.Fused(), ps.WithHyperplane(ps.HyperplaneOff)}},
+		// Schedule rows: the doacross pipeline and the pinned barrier
+		// sweep must both match the sequential reference bitwise, alone
+		// and crossed with fusion, grain, strictness and hyperplane-off
+		// (where the schedule option must be inert).
+		{"BarrierPar4", []ps.RunOption{ps.Workers(4), ps.WithSchedule(ps.ScheduleBarrier)}},
+		{"DoacrossPar2", []ps.RunOption{ps.Workers(2), ps.WithSchedule(ps.ScheduleDoacross)}},
+		{"DoacrossPar4", []ps.RunOption{ps.Workers(4), ps.WithSchedule(ps.ScheduleDoacross)}},
+		{"DoacrossPar3Grain8", []ps.RunOption{ps.Workers(3), ps.Grain(8), ps.WithSchedule(ps.ScheduleDoacross)}},
+		{"DoacrossFusedPar4", []ps.RunOption{ps.Workers(4), ps.Fused(), ps.WithSchedule(ps.ScheduleDoacross)}},
+		{"DoacrossStrictPar2", []ps.RunOption{ps.Workers(2), ps.Strict(), ps.WithSchedule(ps.ScheduleDoacross)}},
+		{"DoacrossHyperOffPar4", []ps.RunOption{ps.Workers(4), ps.WithHyperplane(ps.HyperplaneOff), ps.WithSchedule(ps.ScheduleDoacross)}},
 	}
 	for _, tp := range variantPrograms(t) {
 		t.Run(tp.name, func(t *testing.T) {
