@@ -75,6 +75,15 @@ func TestGoldenPlanListings(t *testing.T) {
 
 	diag := goldenModule(t, mustRead(t, "testdata/diag_chain.ps"), "DiagChain")
 	checkGolden(t, "diag_chain_plan.txt", diag.Plan())
+
+	// Multi-equation groups: the coupled component's single two-kernel
+	// wavefront step, and the fused pair whose merged body collapses
+	// into one wavefront only in the fused variant.
+	coupled := goldenModule(t, mustRead(t, "testdata/coupled.ps"), "Coupled")
+	checkGolden(t, "coupled_plan.txt", coupled.Plan())
+
+	fp := goldenModule(t, mustRead(t, "testdata/fuse_pair.ps"), "FusePair")
+	checkGolden(t, "fuse_pair_plan_fused.txt", fp.PlanWith(ps.PlanOptions{Fused: true}))
 }
 
 // TestGoldenPlanCompact pins the one-line Figure 6-style plan of every
@@ -121,6 +130,18 @@ func TestGoldenExplain(t *testing.T) {
 		}
 		checkGolden(t, tc.file, run.Explain())
 	}
+
+	// The multi-equation wavefront surface: Explain must show the
+	// kernels sharing one π, indented under the wavefront step.
+	coupled, err := ps.CompileProgram("coupled.ps", mustRead(t, "testdata/coupled.ps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := coupled.Prepare("Coupled", ps.Workers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "coupled_explain_par2.txt", run.Explain())
 }
 
 // TestGoldenPscPlan drives `psc -dump plan` the way a user would and

@@ -352,3 +352,75 @@ func TestGeneratedCPipeline(t *testing.T) {
 		t.Errorf("pipeline C missing module call:\n%s", out)
 	}
 }
+
+// TestGeneratedCMultiKernelWavefrontShape checks the multi-equation
+// wavefront C: both group assignments appear inside one skewed nest —
+// under the same preimage guard, in group order — for the barrier form,
+// and under the same ordered(n)/depend(sink:) pragmas for the doacross
+// form.
+func TestGeneratedCMultiKernelWavefrontShape(t *testing.T) {
+	prog, err := parser.ParseProgram("t.ps", psrc.CoupledGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := sem.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cp.Module("CoupledGrid")
+	schd, err := core.Build(depgraph.Build(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := plan.Lower(m, schd, plan.Options{Hyperplane: true})
+	if !pl.HasWavefront() {
+		t.Fatal("auto-hyperplane lowering produced no wavefront step")
+	}
+
+	barrier, err := cgen.Generate(m, pl, cgen.Options{OpenMP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doacross, err := cgen.Generate(m, pl, cgen.Options{OpenMP: true, Schedule: sched.PolicyDoacross})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, c := range map[string]string{"barrier": barrier, "doacross": doacross} {
+		// One wavefront comment, two assignments inside it, exactly one
+		// preimage guard: the group shares the nest.
+		if n := strings.Count(c, "/* WAVEFRONT"); n != 1 {
+			t.Errorf("%s C has %d wavefront nests, want 1:\n%s", name, n, c)
+		}
+		guardAt := strings.Index(c, "if (I >= I_lo && I <= I_hi && J >= J_lo && J <= J_hi)")
+		if guardAt < 0 {
+			t.Fatalf("%s C missing the preimage guard:\n%s", name, c)
+		}
+		inGuard := c[guardAt:]
+		va := strings.Index(inGuard, "/* eq.2 */") // V's assignment (group order first)
+		ua := strings.Index(inGuard, "/* eq.1 */")
+		if va < 0 || ua < 0 || va > ua {
+			t.Errorf("%s C does not run both kernels in group order inside the guard (eq.2 at %d, eq.1 at %d)", name, va, ua)
+		}
+	}
+	if !strings.Contains(doacross, "#pragma omp for ordered(2) schedule(static, 1)") {
+		t.Errorf("doacross C missing the ordered pragma:\n%s", doacross)
+	}
+	// The union's two distinct transformed dependences, deduplicated.
+	for _, want := range []string{"depend(sink: wf_0-1,wf_1)", "depend(sink: wf_0-1,wf_1-1)"} {
+		if !strings.Contains(doacross, want) {
+			t.Errorf("doacross C missing %q", want)
+		}
+	}
+}
+
+// TestCompiledCMultiKernelWavefrontMatchesInterpreter compiles the
+// multi-equation wavefront C — barrier form plain, doacross form with
+// and without -fopenmp — and compares every element against the
+// interpreter's sequential run (the ISSUE 5 acceptance artifact).
+func TestCompiledCMultiKernelWavefrontMatchesInterpreter(t *testing.T) {
+	ccValidate(t, psrc.CoupledGrid, "CoupledGrid", plan.Options{Hyperplane: true},
+		cgen.Options{}, [][]string{{"-O2"}}, 9, 3, true)
+	ccValidate(t, psrc.CoupledGrid, "CoupledGrid", plan.Options{Hyperplane: true},
+		cgen.Options{OpenMP: true, Schedule: sched.PolicyDoacross},
+		[][]string{{"-O2"}, {"-fopenmp", "-O2"}}, 9, 3, true)
+}

@@ -1,0 +1,53 @@
+// Package hyperplane implements the restructuring transformation of paper
+// §4: given a recurrence — or a group of recurrences scheduled into one
+// loop nest — whose schedule is fully iterative, it extracts the
+// constant-offset dependence vectors, solves the strict dependence
+// inequalities for the least integer time vector (Lamport's hyperplane
+// method), completes the time vector to a unimodular coordinate change,
+// and hands both to the consumers: the plan lowering (which bakes π, T
+// and T⁻¹ into an executable wavefront step) and the §4 source-to-source
+// transform (which rewrites the module so the standard scheduling
+// algorithm recovers an outer iterative loop with inner parallel loops).
+//
+// # Contract
+//
+// Analyze handles one equation; AnalyzeGroup generalizes it to a group
+// in scheduled (body) order — a strongly connected component the §3.3
+// scheduler placed into one nest, or a §5-fused pair. Eligibility for a
+// group:
+//
+//   - every equation defines a distinct array via the identity subscript
+//     map over one common dimension set (so offsets are element
+//     distances in a shared coordinate system);
+//   - every group-internal reference is a full-rank constant-offset
+//     subscript in the defining equation's dimension order;
+//   - zero-distance references flow forward in group order only (at each
+//     plane point the kernels execute in that order, so the value is
+//     already written); they contribute no dependence vector;
+//   - the union of all non-zero distance vectors admits a time vector π
+//     with π·d ≥ 1 for every d, which places every producer on a
+//     strictly earlier hyperplane for every equation at once.
+//
+// Any violation returns an error and the caller keeps the untransformed
+// nest, so the analysis is always a pure win-or-no-change decision.
+//
+// # Invariants
+//
+// SolveTimeVector returns the least non-negative π (minimal coefficient
+// sum, ties broken lexicographically), so the chosen schedule is
+// deterministic across hosts and runs. T is unimodular with π as row 0
+// and TInv is its exact integer inverse, so the transformed lattice is
+// exactly the original lattice (no points created or lost) and the
+// preimage map is exact integer arithmetic. Every transformed
+// dependence T·d has first component ≥ 1; Window = 1 + max first
+// component bounds how many consecutive hyperplanes a plane's inputs
+// span.
+//
+// For the paper's revised relaxation (Equation 2) the analysis yields the
+// five inequalities a>0, b>0, c>0, a>b, a>c, the least solution
+// a=2, b=c=1, the transformation K'=2K+I+J, I'=K, J'=I with inverse
+// K=I', I=J', J=K'−2I'−J', and a transformed recurrence whose references
+// are A'[K'−1,I',J'], A'[K'−1,I',J'−1], A'[K'−1,I'−1,J'],
+// A'[K'−1,I'−1,J'+1] (boundary: A'[K'−2,I'−1,J']) — reproduced verbatim
+// by the tests.
+package hyperplane

@@ -1,18 +1,3 @@
-// Package hyperplane implements the restructuring transformation of paper
-// §4: given a recurrence whose schedule is fully iterative, it extracts
-// the constant-offset dependence vectors, solves the strict dependence
-// inequalities for the least integer time vector (Lamport's hyperplane
-// method), completes the time vector to a unimodular coordinate change,
-// and rewrites the module so that the standard scheduling algorithm
-// recovers an outer iterative loop with inner parallel loops.
-//
-// For the paper's revised relaxation (Equation 2) the analysis yields the
-// five inequalities a>0, b>0, c>0, a>b, a>c, the least solution
-// a=2, b=c=1, the transformation K'=2K+I+J, I'=K, J'=I with inverse
-// K=I', I=J', J=K'−2I'−J', and a transformed recurrence whose references
-// are A'[K'−1,I',J'], A'[K'−1,I',J'−1], A'[K'−1,I'−1,J'],
-// A'[K'−1,I'−1,J'+1] (boundary: A'[K'−2,I'−1,J']) — reproduced verbatim
-// by the tests.
 package hyperplane
 
 import (
@@ -25,13 +10,16 @@ import (
 	"repro/internal/types"
 )
 
-// Dependence is one data dependence of the recurrence: the element
+// Dependence is one data dependence of the recurrence group: the element
 // distance between the defined element and a referenced element, as a
-// vector over the equation's dimensions (LHS index minus RHS index).
+// vector over the group's dimensions (LHS index minus RHS index).
 type Dependence struct {
 	Vec []int64
 	// Ref is the originating reference expression.
 	Ref ast.Expr
+	// From and To are the indices (within Analysis.Eqs) of the writing
+	// and reading equations; both 0 for a singleton analysis.
+	From, To int
 }
 
 // String renders the vector like "(1,0,-1)".
@@ -46,14 +34,29 @@ func vecString(v []int64) string {
 }
 
 // Analysis is the result of the §4 dependence analysis of one recurrence
-// equation.
+// group: one equation, or several equations scheduled into the same loop
+// nest (a strongly connected component, or a §5-fused pair), for which a
+// single time vector is solved over the union of their dependence
+// vectors.
 type Analysis struct {
 	Module *sem.Module
-	Eq     *sem.Equation
-	// Array is the recursively defined array (the equation's target).
-	Array *sem.Symbol
-	// Dims are the equation's iteration dimensions, in order.
+	// Eqs is the analyzed group in body (textual/topological) order; a
+	// zero-distance dependence is legal exactly when it flows forward in
+	// this order, because every plane point executes the kernels in it.
+	Eqs []*sem.Equation
+	// Eq is Eqs[0], kept for the singleton consumers (Transform).
+	Eq *sem.Equation
+	// Arrays are the recursively defined arrays, one per equation in
+	// group order; Array is Arrays[0].
+	Arrays []*sem.Symbol
+	Array  *sem.Symbol
+	// Dims are the group's iteration dimensions in analysis order
+	// (Eqs[0]'s dimension order); every equation of the group iterates
+	// exactly this set.
 	Dims []*types.Subrange
+	// Deps is the union of the constant-offset dependence vectors of
+	// every group-internal reference, excluding the zero-distance
+	// forward references satisfied by in-plane body order.
 	Deps []Dependence
 	// Pi is the least non-negative integer time vector with Pi·d ≥ 1 for
 	// every dependence d: element A[x] is computed at time Pi·x.
@@ -132,65 +135,149 @@ func (an *Analysis) TimeEquation() string {
 // Analyze extracts the dependence vectors of eq's self-references and
 // solves for the time vector and coordinate transformation. The equation
 // must define an array and reference it only with constant-offset
-// subscripts.
+// subscripts. It is the singleton form of AnalyzeGroup.
 func Analyze(m *sem.Module, eq *sem.Equation) (*Analysis, error) {
-	if len(eq.Targets) != 1 {
-		return nil, fmt.Errorf("hyperplane: equation %s has %d targets, want 1", eq.Label, len(eq.Targets))
-	}
-	target := eq.Targets[0].Sym
-	if _, ok := target.Type.(*types.Array); !ok {
-		return nil, fmt.Errorf("hyperplane: %s is not an array", target.Name)
-	}
-	an := &Analysis{Module: m, Eq: eq, Array: target, Dims: eq.Dims}
+	return AnalyzeGroup(m, []*sem.Equation{eq})
+}
 
-	// The LHS must be the identity map over the equation's dimensions so
-	// that offsets are element distances.
-	if len(eq.Targets[0].Subs)+len(eq.Targets[0].Implicit) != len(eq.Dims) {
-		return nil, fmt.Errorf("hyperplane: %s does not subscript every dimension", eq.Label)
+// AnalyzeGroup runs the §4 dependence analysis on a group of equations
+// scheduled into one loop nest — one recurrence, a strongly connected
+// component, or a §5-fused pair — and solves a single time vector π for
+// the union of their dependence vectors.
+//
+// Eligibility: every equation defines a distinct array with the identity
+// subscript map over a common dimension set, and every group-internal
+// reference (a read of any group array) is a constant-offset full-rank
+// subscript in the defining equation's dimension order. Zero-distance
+// references are legal only when they flow forward in group (body)
+// order: at each plane point the kernels execute in that order, so the
+// value is already written. Every non-zero distance joins the union that
+// π must respect (π·d ≥ 1 places the producer on a strictly earlier
+// hyperplane), so one schedule is valid for the whole group.
+func AnalyzeGroup(m *sem.Module, eqs []*sem.Equation) (*Analysis, error) {
+	if len(eqs) == 0 {
+		return nil, fmt.Errorf("hyperplane: empty equation group")
 	}
-	for i, sub := range eq.Targets[0].Subs {
-		aff := m.AnalyzeAffine(sub)
-		v, k, ok := affSingle(aff)
-		if !ok || k != 0 || v != eq.Dims[i] {
-			return nil, fmt.Errorf("hyperplane: LHS subscript %d of %s is not the identity index %s",
-				i+1, eq.Label, eq.Dims[i].Name)
-		}
+	dims := eqs[0].Dims
+	an := &Analysis{Module: m, Eqs: eqs, Eq: eqs[0], Dims: dims}
+	dimPos := make(map[*types.Subrange]int, len(dims))
+	for i, d := range dims {
+		dimPos[d] = i
 	}
 
-	// Collect self-references.
-	var badRef ast.Expr
-	ast.Inspect(eq.RHS, func(x ast.Expr) bool {
-		ix, ok := x.(*ast.Index)
-		if !ok {
-			return true
+	// writerOf maps each group-defined array to its equation's group
+	// index; the index order is the in-plane execution order.
+	writerOf := make(map[*sem.Symbol]int, len(eqs))
+	for gi, eq := range eqs {
+		if len(eq.Targets) != 1 {
+			return nil, fmt.Errorf("hyperplane: equation %s has %d targets, want 1", eq.Label, len(eq.Targets))
 		}
-		base, ok := ast.Unparen(ix.Base).(*ast.Ident)
-		if !ok || m.Lookup(base.Name) != target {
-			return true
+		target := eq.Targets[0].Sym
+		if _, ok := target.Type.(*types.Array); !ok {
+			return nil, fmt.Errorf("hyperplane: %s is not an array", target.Name)
 		}
-		if len(ix.Subs) != len(eq.Dims) {
-			badRef = ix
-			return false
+		if _, dup := writerOf[target]; dup {
+			return nil, fmt.Errorf("hyperplane: %s is defined by two equations of the group", target.Name)
 		}
-		vec := make([]int64, len(eq.Dims))
-		for i, sub := range ix.Subs {
-			aff := m.AnalyzeAffine(sub)
-			v, k, ok := affSingle(aff)
-			if !ok || v != eq.Dims[i] {
-				badRef = ix
+		// Every equation must iterate exactly the group's dimension set
+		// so one time vector covers every scheduled subscript.
+		if len(eq.Dims) != len(dims) {
+			return nil, fmt.Errorf("hyperplane: %s iterates %d dimensions, group iterates %d",
+				eq.Label, len(eq.Dims), len(dims))
+		}
+		for _, d := range eq.Dims {
+			if _, ok := dimPos[d]; !ok {
+				return nil, fmt.Errorf("hyperplane: %s iterates %s outside the group's dimensions", eq.Label, d.Name)
+			}
+		}
+		// The LHS must be the identity map over the equation's dimensions
+		// so that offsets are element distances.
+		if len(eq.Targets[0].Subs)+len(eq.Targets[0].Implicit) != len(eq.Dims) {
+			return nil, fmt.Errorf("hyperplane: %s does not subscript every dimension", eq.Label)
+		}
+		for i, sub := range eq.Targets[0].Subs {
+			v, k, ok := affSingle(m.AnalyzeAffine(sub))
+			if !ok || k != 0 || v != eq.Dims[i] {
+				return nil, fmt.Errorf("hyperplane: LHS subscript %d of %s is not the identity index %s",
+					i+1, eq.Label, eq.Dims[i].Name)
+			}
+		}
+		writerOf[target] = gi
+		an.Arrays = append(an.Arrays, target)
+	}
+	an.Array = an.Arrays[0]
+
+	// Collect group-internal references: reads of any group array from
+	// any group equation, self-references included.
+	for ri, eq := range eqs {
+		ri, eq := ri, eq
+		var refErr error
+		ast.Inspect(eq.RHS, func(x ast.Expr) bool {
+			if refErr != nil {
 				return false
 			}
-			vec[i] = -k // subscript = dim + k ⇒ distance = -k
+			switch r := x.(type) {
+			case *ast.Index:
+				base, ok := ast.Unparen(r.Base).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				sym := m.Lookup(base.Name)
+				wi, isGroup := writerOf[sym]
+				if !isGroup {
+					return true
+				}
+				wEq := eqs[wi]
+				if len(r.Subs) != len(dims) {
+					refErr = fmt.Errorf("hyperplane: reference %s is not a constant-offset reference to %s",
+						ast.ExprString(r), sym.Name)
+					return false
+				}
+				vec := make([]int64, len(dims))
+				zero := true
+				for p, sub := range r.Subs {
+					// Array position p of the defining equation's target is
+					// dimension wEq.Dims[p] (its LHS is the identity map).
+					v, k, ok := affSingle(m.AnalyzeAffine(sub))
+					if !ok || v != wEq.Dims[p] {
+						refErr = fmt.Errorf("hyperplane: reference %s is not a constant-offset reference to %s",
+							ast.ExprString(r), sym.Name)
+						return false
+					}
+					vec[dimPos[v]] = -k // subscript = dim + k ⇒ distance = -k
+					if k != 0 {
+						zero = false
+					}
+				}
+				if zero {
+					// A zero-distance reference is an in-plane dependence:
+					// legal when the producer runs earlier at every point.
+					if wi >= ri {
+						refErr = fmt.Errorf("hyperplane: %s reads %s at the same point before it is computed",
+							eq.Label, sym.Name)
+					}
+					return false
+				}
+				an.Deps = append(an.Deps, Dependence{Vec: vec, Ref: r, From: wi, To: ri})
+				return false
+			case *ast.Ident:
+				// A whole-array element read of a group array is a
+				// zero-distance reference; same in-plane order rule.
+				if wi, isGroup := writerOf[m.Lookup(r.Name)]; isGroup && wi >= ri {
+					refErr = fmt.Errorf("hyperplane: %s reads %s at the same point before it is computed",
+						eq.Label, r.Name)
+					return false
+				}
+			}
+			return true
+		})
+		if refErr != nil {
+			return nil, refErr
 		}
-		an.Deps = append(an.Deps, Dependence{Vec: vec, Ref: ix})
-		return false
-	})
-	if badRef != nil {
-		return nil, fmt.Errorf("hyperplane: reference %s is not a constant-offset self-reference",
-			ast.ExprString(badRef))
 	}
 	if len(an.Deps) == 0 {
-		return nil, fmt.Errorf("hyperplane: %s has no self-references; nothing to transform", eq.Label)
+		return nil, fmt.Errorf("hyperplane: %s has no cross-iteration dependences; nothing to transform",
+			groupLabel(eqs))
 	}
 
 	deps := make([][]int64, len(an.Deps))
@@ -216,12 +303,21 @@ func Analyze(m *sem.Module, eq *sem.Equation) (*Analysis, error) {
 	an.Window = 1
 	for _, d := range an.Deps {
 		td := t.MulVec(d.Vec)
-		an.TransformedDeps = append(an.TransformedDeps, Dependence{Vec: td, Ref: d.Ref})
+		an.TransformedDeps = append(an.TransformedDeps, Dependence{Vec: td, Ref: d.Ref, From: d.From, To: d.To})
 		if w := int(td[0]) + 1; w > an.Window {
 			an.Window = w
 		}
 	}
 	return an, nil
+}
+
+// groupLabel joins the group's equation labels for diagnostics.
+func groupLabel(eqs []*sem.Equation) string {
+	labels := make([]string, len(eqs))
+	for i, eq := range eqs {
+		labels[i] = eq.Label
+	}
+	return strings.Join(labels, ", ")
 }
 
 func affSingle(a *sem.Affine) (*types.Subrange, int64, bool) {

@@ -1,6 +1,7 @@
 package hyperplane_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -229,4 +230,188 @@ func TestAnalyzeRejects(t *testing.T) {
 		t.Error("expected Analyze to reject an equation without self-references")
 	}
 	_ = ast.ExprString // keep import for doc reference
+}
+
+// groupModule compiles a two-recurrence module and returns it with the
+// labeled equations in the requested order.
+func groupModule(t *testing.T, src string, labels ...string) (*sem.Module, []*sem.Equation) {
+	t.Helper()
+	prog, err := parser.ParseProgram("group.ps", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cp, err := sem.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	m := cp.Modules[0]
+	eqs := make([]*sem.Equation, len(labels))
+	for i, l := range labels {
+		for _, e := range m.Eqs {
+			if e.Label == l {
+				eqs[i] = e
+			}
+		}
+		if eqs[i] == nil {
+			t.Fatalf("no equation %s", l)
+		}
+	}
+	return m, eqs
+}
+
+const coupledSrc = `
+Coupled: module (Seed: array[I,J] of real; N: int):
+    [OutU: array [I,J] of real; OutV: array [I,J] of real];
+type
+    I,J = 1 .. N;
+var
+    U: array [1 .. N, 1 .. N] of real;
+    V: array [1 .. N, 1 .. N] of real;
+define
+    (*eq.1*) U[I,J] = if (I = 1) or (J = 1) or (J = N)
+             then Seed[I,J]
+             else (U[I-1,J+1] + V[I,J-1]) / 2.0;
+    (*eq.2*) V[I,J] = if (I = 1) or (J = 1) or (J = N)
+             then 0.5 * Seed[I,J]
+             else (V[I-1,J+1] + U[I,J-1]) / 2.0;
+    (*eq.3*) OutU[I,J] = U[I,J];
+    (*eq.4*) OutV[I,J] = V[I,J];
+end Coupled;
+`
+
+// TestAnalyzeGroupUnion checks the multi-equation analysis: the union
+// of both equations' dependence vectors — self references and cross
+// references alike — feeds one time-vector solve.
+func TestAnalyzeGroupUnion(t *testing.T) {
+	m, eqs := groupModule(t, coupledSrc, "eq.1", "eq.2")
+	an, err := hyperplane.AnalyzeGroup(m, eqs)
+	if err != nil {
+		t.Fatalf("AnalyzeGroup: %v", err)
+	}
+	if len(an.Eqs) != 2 || len(an.Arrays) != 2 {
+		t.Fatalf("group carries %d eqs / %d arrays, want 2 / 2", len(an.Eqs), len(an.Arrays))
+	}
+	// Four dependences: U self (1,-1), V->U (0,1), V self (1,-1), U->V (0,1).
+	got := map[string]int{}
+	for _, d := range an.Deps {
+		got[d.String()]++
+	}
+	if got["(1,-1)"] != 2 || got["(0,1)"] != 2 || len(an.Deps) != 4 {
+		t.Errorf("dependence union = %v, want two (1,-1) and two (0,1)", got)
+	}
+	// Cross dependences must record writer and reader group indices.
+	cross := 0
+	for _, d := range an.Deps {
+		if d.From != d.To {
+			cross++
+		}
+	}
+	if cross != 2 {
+		t.Errorf("%d cross dependences recorded, want 2", cross)
+	}
+	if want := []int64{2, 1}; an.Pi[0] != want[0] || an.Pi[1] != want[1] {
+		t.Errorf("pi = %v, want %v", an.Pi, want)
+	}
+	if an.Window != 2 {
+		t.Errorf("window = %d, want 2", an.Window)
+	}
+}
+
+// TestAnalyzeGroupZeroDistance checks the in-plane ordering rule: a
+// zero-distance reference is legal exactly when the producer runs
+// earlier in group order.
+func TestAnalyzeGroupZeroDistance(t *testing.T) {
+	src := `
+Pair: module (Seed: array[I,J] of real; N: int):
+    [OutA: array [I,J] of real; OutB: array [I,J] of real];
+type
+    I,J = 0 .. N+1;
+var
+    A: array [0 .. N+1, 0 .. N+1] of real;
+    B: array [0 .. N+1, 0 .. N+1] of real;
+define
+    (*eq.1*) A[I,J] = if (I = 0) or (J = 0) then Seed[I,J]
+             else (A[I-1,J] + A[I,J-1]) / 2.0;
+    (*eq.2*) B[I,J] = if (I = 0) or (J = 0) then Seed[I,J]
+             else (B[I-1,J] + B[I,J-1]) / 2.0 + A[I,J];
+    (*eq.3*) OutA[I,J] = A[I,J];
+    (*eq.4*) OutB[I,J] = B[I,J];
+end Pair;
+`
+	m, eqs := groupModule(t, src, "eq.1", "eq.2")
+	an, err := hyperplane.AnalyzeGroup(m, eqs)
+	if err != nil {
+		t.Fatalf("forward zero-distance reference rejected: %v", err)
+	}
+	// The A[I,J] read contributes no dependence vector; only the four
+	// self dependences constrain pi.
+	if len(an.Deps) != 4 {
+		t.Errorf("got %d dependences, want 4 (zero-distance read excluded)", len(an.Deps))
+	}
+	if want := []int64{1, 1}; an.Pi[0] != want[0] || an.Pi[1] != want[1] {
+		t.Errorf("pi = %v, want %v", an.Pi, want)
+	}
+	// Reversed group order: the zero-distance read now flows backward
+	// (B would read A before A's kernel ran at the point).
+	if _, err := hyperplane.AnalyzeGroup(m, []*sem.Equation{eqs[1], eqs[0]}); err == nil {
+		t.Error("backward zero-distance reference accepted")
+	}
+}
+
+// TestAnalyzeGroupRejects pins the remaining group-eligibility rules.
+func TestAnalyzeGroupRejects(t *testing.T) {
+	m, eqs := groupModule(t, coupledSrc, "eq.1", "eq.2")
+	if _, err := hyperplane.AnalyzeGroup(m, nil); err == nil {
+		t.Error("empty group accepted")
+	}
+	// A group member defining a second group member's array is
+	// impossible; but duplicating one equation reuses its target.
+	if _, err := hyperplane.AnalyzeGroup(m, []*sem.Equation{eqs[0], eqs[0]}); err == nil {
+		t.Error("duplicate-target group accepted")
+	}
+	// eq.3 iterates the same dims but OutU has no recurrence; grouping
+	// it with eq.1 leaves U's cross reference V unresolved — V is not
+	// defined in the group, so only U's self dependence remains and the
+	// analysis still succeeds. Grouping eq.3 with eq.4 alone has no
+	// dependences at all and must be refused.
+	om, out := groupModule(t, coupledSrc, "eq.3", "eq.4")
+	if _, err := hyperplane.AnalyzeGroup(om, out); err == nil {
+		t.Error("dependence-free group accepted")
+	}
+
+	// A non-constant-offset cross reference (reflected column) must be
+	// refused even though the nest schedules sequentially.
+	reflSrc := `
+Reflect: module (Seed: array[I,J] of real; N: int):
+    [OutX: array [I,J] of real; OutY: array [I,J] of real];
+type
+    I,J = 1 .. N;
+var
+    X: array [1 .. N, 1 .. N] of real;
+    Y: array [1 .. N, 1 .. N] of real;
+define
+    (*eq.1*) X[I,J] = if (I = 1) or (J = 1) then Seed[I,J]
+             else (X[I-1,J] + Y[I,J-1]) / 2.0;
+    (*eq.2*) Y[I,J] = if (I = 1) or (J = 1) then 0.5 * Seed[I,J]
+             else (Y[I-1,J] + X[I,J-1] + X[I-1, N+1-J]) / 3.0;
+    (*eq.3*) OutX[I,J] = X[I,J];
+    (*eq.4*) OutY[I,J] = Y[I,J];
+end Reflect;
+`
+	rm, reqs := groupModule(t, reflSrc, "eq.1", "eq.2")
+	if _, err := hyperplane.AnalyzeGroup(rm, reqs); err == nil {
+		t.Error("non-constant-offset group reference accepted")
+	}
+	if !strings.Contains(fmt.Sprint(mustErr(t, rm, reqs)), "constant-offset") {
+		t.Errorf("rejection should name the constant-offset rule: %v", mustErr(t, rm, reqs))
+	}
+}
+
+func mustErr(t *testing.T, m *sem.Module, eqs []*sem.Equation) error {
+	t.Helper()
+	_, err := hyperplane.AnalyzeGroup(m, eqs)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	return err
 }

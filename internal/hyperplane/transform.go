@@ -123,6 +123,10 @@ type transformer struct {
 func (tr *transformer) prepare() error {
 	an, m, n := tr.an, tr.m, tr.n
 
+	if len(an.Eqs) > 1 {
+		return fmt.Errorf("hyperplane: the source-to-source transform rewrites a single recurrence; group {%s} has %d equations",
+			groupLabel(an.Eqs), len(an.Eqs))
+	}
 	if _, basic := an.Array.Type.(*types.Array).Elem.(*types.Basic); !basic {
 		return fmt.Errorf("hyperplane: transform requires a basic element type, %s has %s",
 			an.Array.Name, an.Array.Type.(*types.Array).Elem)

@@ -1,10 +1,3 @@
-// Package interp executes scheduled PS modules: a closure-compiling
-// evaluator for equations plus a plan executor that runs DO loops
-// sequentially and DOALL loops on the parallel runtime. It is the
-// execution substrate standing in for the paper's MIMD target: each
-// module's schedule is lowered once (at compile time) into the flat
-// loop-plan IR of internal/plan, and activations execute that plan with
-// virtual dimensions allocated as sliding windows.
 package interp
 
 import (

@@ -1,0 +1,53 @@
+// Package interp executes scheduled PS modules — the execution
+// substrate standing in for the paper's MIMD target. Each module is
+// compiled once: equations become typed closure kernels, the core
+// schedule is lowered into every variant of the flat loop-plan IR
+// (internal/plan), and activations execute plan instructions with
+// virtual dimensions allocated as sliding windows.
+//
+// # Contract
+//
+// A compiled Program is immutable and safe for concurrent Run/RunCtx
+// calls: every activation builds its own environment, and pooled
+// per-worker state (env copies and index frames) is reused across DOALL
+// chunks without sharing mutable state between concurrent activations.
+// Cancellation aborts sequential loops within one iteration and
+// in-flight parallel work within one chunk/tile, and Stats counters are
+// valid up to the abort.
+//
+// # Plan-variant matrix
+//
+// Options select among the four compiled [fuse][hyperplane] plan
+// variants at activation time (variants that lower identically share a
+// compiled plan); equation kernels are compiled once and shared by all
+// of them. Wavefront steps additionally choose an execution strategy
+// per activation: the per-plane barrier sweep or the doacross tile
+// pipeline (internal/sched), forced by Options.Schedule or chosen
+// automatically from the measured kernel cost.
+//
+// # Bitwise-identical results
+//
+// Every variant × strategy combination runs the same kernel closures at
+// exactly the original iteration points in a dependence-respecting
+// order, so results are bitwise identical to the sequential reference:
+//
+//   - DOALL steps permute independent points only;
+//   - wavefront steps execute hyperplanes t = π·x in ascending order
+//     with π·d ≥ 1 for every dependence d of the nest's equation group,
+//     and each in-box plane point runs the group's kernels in scheduled
+//     order, preserving in-plane zero-distance dependences;
+//   - both wavefront strategies share one geometry (wfSpace): the same
+//     per-plane tightened bounds, the same T⁻¹ preimages, the same
+//     guard against bounding-box slack.
+//
+// The variants parity matrix (variants_test.go at the repo root)
+// enforces this across the corpus under -race.
+//
+// # Calibration
+//
+// The first activation that times a plane writes the plan's one-shot
+// wavefront kernel cost (ns per executed point — for a multi-equation
+// group, the combined cost of every kernel the point runs). The
+// calibrated cost derives the inline-plane threshold and sharpens the
+// auto barrier/doacross decision; until then a fixed default applies.
+package interp

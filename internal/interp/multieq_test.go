@@ -1,0 +1,93 @@
+package interp_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/plan"
+	"repro/internal/psrc"
+	"repro/internal/sched"
+	"repro/internal/value"
+)
+
+// runCoupled executes the CoupledGrid module under opts and returns newA.
+func runCoupled(t *testing.T, ip *interp.Program, m, maxK int64, opts interp.Options) *value.Array {
+	t.Helper()
+	res, err := ip.Run("CoupledGrid", []any{grid(m), m, maxK}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res[0].(*value.Array)
+}
+
+// TestMultiKernelWavefrontParity runs the two-equation coupled
+// recurrence — lowered to a single wavefront step with two kernels per
+// plane point — under both wavefront schedules at several widths. All
+// runs must be bitwise identical to the sequential reference and must
+// execute exactly the same number of equation instances (the wavefront
+// sweep visits exactly the original points, each running the whole
+// group).
+func TestMultiKernelWavefrontParity(t *testing.T) {
+	ip := compileSrc(t, psrc.CoupledGrid)
+	if !ip.Plan("CoupledGrid", plan.Options{Hyperplane: true}).HasWavefront() {
+		t.Fatal("CoupledGrid did not lower to a wavefront plan")
+	}
+	const m, maxK = 13, 3
+	var seqStats interp.Stats
+	want := runCoupled(t, ip, m, maxK, interp.Options{Sequential: true, Stats: &seqStats})
+	for _, tc := range []struct {
+		name     string
+		opts     interp.Options
+		doacross bool
+	}{
+		{"BarrierPar2", interp.Options{Workers: 2, Schedule: sched.PolicyBarrier}, false},
+		{"BarrierPar4", interp.Options{Workers: 4, Schedule: sched.PolicyBarrier}, false},
+		{"DoacrossPar2", interp.Options{Workers: 2, Schedule: sched.PolicyDoacross}, true},
+		{"DoacrossPar4Grain4", interp.Options{Workers: 4, Grain: 4, Schedule: sched.PolicyDoacross}, true},
+		{"AutoPar4", interp.Options{Workers: 4}, false},
+		{"StrictDoacrossPar2", interp.Options{Workers: 2, Strict: true, Schedule: sched.PolicyDoacross}, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var stats interp.Stats
+			tc.opts.Stats = &stats
+			got := runCoupled(t, ip, m, maxK, tc.opts)
+			if !reflect.DeepEqual(got.F, want.F) {
+				t.Errorf("%s diverges from sequential reference", tc.name)
+			}
+			if got, want := stats.EqInstances.Load(), seqStats.EqInstances.Load(); got != want {
+				t.Errorf("%s executed %d equation instances, sequential executed %d", tc.name, got, want)
+			}
+			if stats.Planes.Load() == 0 {
+				t.Errorf("%s swept no hyperplanes", tc.name)
+			}
+			if tc.doacross && stats.Doacross.Tiles.Load() == 0 {
+				t.Errorf("%s executed no doacross tiles", tc.name)
+			}
+		})
+	}
+}
+
+// TestMultiKernelCalibration checks the wavefront grain calibrates over
+// the combined kernel cost: the measured ns/point covers every kernel
+// of the group, so the derived inline threshold stays within its clamp
+// and the plan reports a positive per-point cost after one run.
+func TestMultiKernelCalibration(t *testing.T) {
+	ip := compileSrc(t, psrc.CoupledGrid)
+	popts := plan.Options{Hyperplane: true}
+	if _, cost := ip.WavefrontGrain("CoupledGrid", popts); cost != 0 {
+		t.Fatalf("plan calibrated before any run: %d ns/point", cost)
+	}
+	// The barrier sweep calibrates from the first inline plane with at
+	// least 8 candidate points (a 2-D doacross pipeline blocks its only
+	// plane coordinate into single-point tiles, which the calibration's
+	// noise guard skips).
+	runCoupled(t, ip, 13, 3, interp.Options{Workers: 2, Schedule: sched.PolicyBarrier})
+	grain, cost := ip.WavefrontGrain("CoupledGrid", popts)
+	if cost <= 0 {
+		t.Fatal("run did not calibrate the combined kernel cost")
+	}
+	if grain < 8 || grain > 4096 {
+		t.Fatalf("calibrated grain %d outside [8, 4096]", grain)
+	}
+}

@@ -623,10 +623,14 @@ func (p *Program) execDoAll(en *env, fr []int64, st *plan.Step, bodyLo int) {
 // barrier sweep and the doacross pipeline — work from the same space,
 // which is why they are bitwise identical.
 type wfSpace struct {
-	st  *plan.Step
-	hy  *plan.Hyper
-	n   int
-	eqi int
+	st *plan.Step
+	hy *plan.Hyper
+	n  int
+	// eqis are the kernel indices of the step's body equations in group
+	// order; every in-box plane point runs all of them, so in-plane
+	// zero-distance dependences between group equations are satisfied by
+	// execution order. Singleton nests have exactly one.
+	eqis []int
 	// lo, hi is the original iteration box.
 	lo, hi [plan.MaxCollapse]int64
 	// tlo, thi bounds each transformed coordinate row_r(T)·x over the
@@ -641,11 +645,13 @@ type wfSpace struct {
 func (w *wfSpace) resolve(en *env, st *plan.Step, bodyLo int) bool {
 	w.st, w.hy = st, st.Hyper
 	w.n = len(st.Dims)
-	// The body is exactly one equation step (tryWavefront guarantees
-	// it), so points invoke the kernel directly instead of re-entering
-	// the step dispatcher — the wavefront analogue of the DOALL leaf
-	// fast path.
-	w.eqi = en.cp.pl.Steps[bodyLo].Eq
+	// The body is equation steps only (tryWavefront guarantees it), so
+	// points invoke the kernels directly instead of re-entering the step
+	// dispatcher — the wavefront analogue of the DOALL leaf fast path.
+	w.eqis = w.eqis[:0]
+	for b := bodyLo; b < st.End; b++ {
+		w.eqis = append(w.eqis, en.cp.pl.Steps[b].Eq)
+	}
 	for j, slot := range st.Dims {
 		b := en.bounds[slot]
 		if b[1] < b[0] {
@@ -669,6 +675,14 @@ func (w *wfSpace) resolve(en *env, st *plan.Step, bodyLo int) bool {
 		w.piHiSum += w.hy.Pi[j] * w.hi[j]
 	}
 	return true
+}
+
+// points converts an executed-instance count back into plane points:
+// every in-box point runs all group kernels, so the combined kernel
+// cost per point — what the grain calibration needs, since thresholds
+// are in points per plane — is elapsed / (instances / len(eqis)).
+func (w *wfSpace) points(instances int64) int64 {
+	return instances / int64(len(w.eqis))
 }
 
 // planeBounds computes plane t's coordinate ranges: start from the box
@@ -718,7 +732,7 @@ func (p *Program) execPlaneBox(en *env, fr []int64, w *wfSpace, t int64, plo, ph
 		if canceled != nil && canceled.Load() {
 			panic(runtimeError{err: en.rs.ctx.Err()})
 		}
-		wavefrontPoint(en, fr, w.st, x, &w.lo, &w.hi, w.eqi)
+		wavefrontPoint(en, fr, w.st, x, &w.lo, &w.hi, w.eqis)
 		advancePlane(xp, x, w.hy.TInv, plo, phi)
 	}
 }
@@ -804,8 +818,8 @@ func (p *Program) execWavefront(en *env, fr []int64, st *plan.Step, bodyLo int) 
 				before := en.eqCount
 				start := time.Now()
 				p.execPlaneBox(en, fr, &w, t, &plo, &phi, planeTotal)
-				if executed := en.eqCount - before; executed > 0 {
-					en.cp.noteWavefrontCost(executed, time.Since(start))
+				if points := w.points(en.eqCount - before); points > 0 {
+					en.cp.noteWavefrontCost(points, time.Since(start))
 					inline = en.cp.wavefrontGrain()
 				}
 				continue
@@ -865,7 +879,7 @@ func (p *Program) execWavefront(en *env, fr []int64, st *plan.Step, bodyLo int) 
 			}
 			preimage(hy.TInv, xp, x)
 			for li := start; ; li++ {
-				wavefrontPoint(sub, wfr, w.st, x, &w.lo, &w.hi, w.eqi)
+				wavefrontPoint(sub, wfr, w.st, x, &w.lo, &w.hi, w.eqis)
 				if li == end {
 					break
 				}
@@ -1008,8 +1022,8 @@ func (p *Program) execDoacrossTile(en *env, fr []int64, w *wfSpace, t int64, plo
 		before := sub.eqCount
 		start := time.Now()
 		p.execPlaneBox(sub, wfr, w, t, plo, phi, total)
-		if executed := sub.eqCount - before; executed > 0 {
-			en.cp.noteWavefrontCost(executed, time.Since(start))
+		if points := w.points(sub.eqCount - before); points > 0 {
+			en.cp.noteWavefrontCost(points, time.Since(start))
 		}
 		return ok
 	}
@@ -1044,10 +1058,10 @@ func preimage(tinv [][]int64, xp, x []int64) {
 	}
 }
 
-// wavefrontPoint runs the recurrence kernel at the preimage point x
-// when it lies in the original iteration box (outside points are
-// bounding-box slack).
-func wavefrontPoint(en *env, fr []int64, st *plan.Step, x []int64, lo, hi *[plan.MaxCollapse]int64, eqi int) {
+// wavefrontPoint runs the group's recurrence kernels — in group order —
+// at the preimage point x when it lies in the original iteration box
+// (outside points are bounding-box slack).
+func wavefrontPoint(en *env, fr []int64, st *plan.Step, x []int64, lo, hi *[plan.MaxCollapse]int64, eqis []int) {
 	for j, v := range x {
 		if v < lo[j] || v > hi[j] {
 			return
@@ -1056,9 +1070,11 @@ func wavefrontPoint(en *env, fr []int64, st *plan.Step, x []int64, lo, hi *[plan
 	for j, v := range x {
 		fr[st.Dims[j]] = v
 	}
-	en.curEq = int32(eqi)
-	en.eqCount++
-	en.cp.kernels[eqi](en, fr)
+	for _, eqi := range eqis {
+		en.curEq = int32(eqi)
+		en.eqCount++
+		en.cp.kernels[eqi](en, fr)
+	}
 }
 
 // advancePlane steps xp one point through the plane's bounding box —

@@ -1,0 +1,55 @@
+// Package plan defines the flat loop-program IR both execution backends
+// consume — the keystone between the paper's scheduler (internal/core)
+// and the executors (internal/interp, internal/cgen).
+//
+// # Contract
+//
+// A plan is lowered exactly once per (module, Options) pair from the
+// core scheduler's flowchart. Lowering is the single point where
+// flowchart descriptors are interpreted; backends must consume the
+// returned Program and never re-analyze core.Flowchart at run time.
+// Lowering resolves loops to frame slots (Bounds order), collapses
+// directly nested DOALL loops into one multi-dimensional parallel step,
+// applies §5 loop fusion (Options.Fuse) before lowering, assigns every
+// equation a kernel index, and — under Options.Hyperplane — replaces
+// every eligible fully sequential nest with an OpWavefront step via
+// internal/hyperplane.
+//
+// A wavefront step covers a singleton recurrence or a multi-equation
+// group (a strongly connected component scheduled into one body, or a
+// §5-fused group): the step's body is one OpEq step per equation in
+// scheduled order, and its Hyper block carries one π/T/T⁻¹ solved for
+// the union of the group's dependence vectors.
+//
+// # Plan-variant matrix
+//
+// The interpreter compiles all four [fuse][hyperplane] variants up
+// front; variants that lower identically share one compiled plan. Every
+// variant of a module shares the same Bounds order (and therefore the
+// same frame-slot assignment), and equation kernels are compiled once
+// and shared across variants — which is why all variants are bitwise
+// identical: they run the same kernels at the same points in
+// dependence-respecting orders.
+//
+// # Invariants
+//
+//   - Steps is a pre-order flat array; a loop step's body is
+//     Steps[i+1:End], so executors iterate with index skips and no
+//     pointer chasing.
+//   - An OpWavefront body consists of OpEq steps only, in group order;
+//     executors may dispatch the kernels directly (the leaf fast path).
+//   - Hyper.Pi is the least time vector for the dependence union;
+//     Hyper.T is unimodular with Pi as row 0 and TInv its exact integer
+//     inverse.
+//   - Hyper.TDeps lists T·d for every union dependence (first component
+//     ≥ 1); Hyper.Window is 1 + the largest first component.
+//   - Hyper.Pred folds TDeps into per-coordinate predecessor-offset
+//     ranges: Pred[r-1][dt-1] bounds the coordinate-r shift of the
+//     dependences reaching dt hyperplanes back, the exact tile-wait
+//     metadata of the doacross executor (internal/sched) — a point with
+//     plane coordinate c on plane t reads [c-Hi, c-Lo] on plane t-dt.
+//   - Virtual windows keyed on transformed subranges are dropped from
+//     wavefront variants: the sweep interleaves original-coordinate
+//     planes, so a window sized for ascending order would be
+//     overwritten while still live.
+package plan

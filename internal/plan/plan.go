@@ -1,13 +1,3 @@
-// Package plan defines the flat loop-program IR both execution backends
-// consume. A plan is lowered exactly once per (module, options) from the
-// core scheduler's flowchart: loops are resolved to frame slots, directly
-// nested DOALL loops are collapsed into one multi-dimensional parallel
-// step, loop fusion (the §5 extension) is applied at lowering time, and
-// every equation is assigned a kernel index. Backends — the interpreter
-// and the C generator — walk the flat step array instead of re-analyzing
-// `core.Flowchart` descriptors on every activation, which keeps the
-// per-iteration execution path free of map lookups and descriptor type
-// switches.
 package plan
 
 import (
@@ -348,11 +338,14 @@ func (lw *lowerer) lowerLoop(l *core.LoopDesc) {
 
 // tryWavefront recognizes the §4-eligible shape under l — a maximal
 // nest of fully sequential singleton loops whose innermost body is one
-// recurrence equation iterating exactly the nest's dimensions — runs
-// the hyperplane analysis on it, and lowers an OpWavefront step when a
-// valid time vector exists. It reports whether the nest was consumed;
-// on any ineligibility it returns false and the caller lowers the
-// ordinary DO nest, so the transform is always a pure win-or-no-change.
+// or more recurrence equations iterating exactly the nest's dimensions
+// (one equation, a strongly connected component the scheduler put into
+// one nest, or a §5-fused group) — runs the hyperplane analysis on the
+// union of the group's dependence vectors, and lowers an OpWavefront
+// step when one valid time vector exists for the whole group. It
+// reports whether the nest was consumed; on any ineligibility it
+// returns false and the caller lowers the ordinary DO nest, so the
+// transform is always a pure win-or-no-change.
 func (lw *lowerer) tryWavefront(l *core.LoopDesc) bool {
 	var dims []*types.Subrange
 	cur := l
@@ -361,53 +354,74 @@ func (lw *lowerer) tryWavefront(l *core.LoopDesc) bool {
 			return false
 		}
 		dims = append(dims, cur.Subrange)
-		if len(cur.Body) != 1 {
-			return false
-		}
-		if inner, ok := cur.Body[0].(*core.LoopDesc); ok {
-			cur = inner
-			continue
-		}
-		nd, ok := cur.Body[0].(*core.NodeDesc)
-		if !ok || nd.Node.Eq == nil {
-			return false
-		}
-		eq := nd.Node.Eq
-		// A 1-D nest has no plane to parallelize; the nest must iterate
-		// the equation's full dimension set so the time vector covers
-		// every scheduled subscript.
-		if len(dims) < 2 || len(dims) != len(eq.Dims) || len(dims) > MaxCollapse {
-			return false
-		}
-		for _, d := range eq.Dims {
-			found := false
-			for _, nd := range dims {
-				if nd == d {
-					found = true
-					break
-				}
+		if len(cur.Body) == 1 {
+			if inner, ok := cur.Body[0].(*core.LoopDesc); ok {
+				cur = inner
+				continue
 			}
-			if !found {
+		}
+		eqs := equationBody(cur.Body)
+		if eqs == nil {
+			return false
+		}
+		// A 1-D nest has no plane to parallelize; every equation must
+		// iterate the nest's full dimension set so one time vector covers
+		// every scheduled subscript of the group.
+		if len(dims) < 2 || len(dims) > MaxCollapse {
+			return false
+		}
+		for _, eq := range eqs {
+			if len(eq.Dims) != len(dims) {
 				return false
 			}
+			for _, d := range eq.Dims {
+				found := false
+				for _, nd := range dims {
+					if nd == d {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
 		}
-		an, err := hyperplane.Analyze(lw.m, eq)
+		an, err := hyperplane.AnalyzeGroup(lw.m, eqs)
 		if err != nil {
 			return false
 		}
-		lw.emitWavefront(an, eq)
+		lw.emitWavefront(an, eqs)
 		return true
 	}
 }
 
-// emitWavefront lowers one analyzed recurrence as a wavefront step. The
-// step's Dims are the frame slots of the equation's dimensions in
-// analysis order (the order π, T and T⁻¹ are expressed in). Virtual
-// windows keyed on the transformed subranges are dropped from the plan:
-// the wavefront sweep interleaves original-coordinate planes, so a
-// window sized for ascending-order execution would be overwritten while
-// still live.
-func (lw *lowerer) emitWavefront(an *hyperplane.Analysis, eq *sem.Equation) {
+// equationBody returns the equations of an innermost loop body in
+// scheduled order, or nil when the body contains anything but equation
+// nodes (nested loops, data declarations).
+func equationBody(fc core.Flowchart) []*sem.Equation {
+	var eqs []*sem.Equation
+	for _, d := range fc {
+		nd, ok := d.(*core.NodeDesc)
+		if !ok || nd.Node.Eq == nil {
+			return nil
+		}
+		eqs = append(eqs, nd.Node.Eq)
+	}
+	return eqs
+}
+
+// emitWavefront lowers one analyzed recurrence group as a wavefront
+// step whose body is one OpEq step per equation, in group (scheduled)
+// order — executors run every kernel at each plane point, so in-plane
+// zero-distance dependences between group equations stay satisfied. The
+// step's Dims are the frame slots of the group's dimensions in analysis
+// order (the order π, T and T⁻¹ are expressed in). Virtual windows
+// keyed on the transformed subranges are dropped from the plan: the
+// wavefront sweep interleaves original-coordinate planes, so a window
+// sized for ascending-order execution would be overwritten while still
+// live.
+func (lw *lowerer) emitWavefront(an *hyperplane.Analysis, eqs []*sem.Equation) {
 	n := len(an.Dims)
 	hy := &Hyper{Pi: an.Pi, Window: an.Window}
 	for _, d := range an.TransformedDeps {
@@ -433,7 +447,9 @@ func (lw *lowerer) emitWavefront(an *hyperplane.Analysis, eq *sem.Equation) {
 	}
 	self := len(lw.p.Steps)
 	lw.p.Steps = append(lw.p.Steps, Step{Op: OpWavefront, Dims: slots, Hyper: hy})
-	lw.p.Steps = append(lw.p.Steps, Step{Op: OpEq, Eq: lw.kernel(eq)})
+	for _, eq := range eqs {
+		lw.p.Steps = append(lw.p.Steps, Step{Op: OpEq, Eq: lw.kernel(eq)})
+	}
 	lw.p.Steps[self].End = len(lw.p.Steps)
 
 	kept := lw.p.Virtual[:0:0]
@@ -535,9 +551,15 @@ func (p *Program) String() string {
 			for j, d := range st.Hyper.TDeps {
 				tdeps[j] = vecString(d)
 			}
-			fmt.Fprintf(&sb, "wavefront %s  t = %s, pi = %s, window %d, tdeps %s\n",
+			fmt.Fprintf(&sb, "wavefront %s  t = %s, pi = %s, window %d, tdeps %s",
 				strings.Join(names, ", "), st.Hyper.piString(names), vecString(st.Hyper.Pi), st.Hyper.Window,
 				strings.Join(tdeps, ""))
+			if nk := st.End - i - 1; nk > 1 {
+				// A multi-equation group: the indented body lists the
+				// kernels sharing this π, executed in order per point.
+				fmt.Fprintf(&sb, ", kernels %d", nk)
+			}
+			sb.WriteByte('\n')
 			depth = append(depth, st.End)
 		}
 	}

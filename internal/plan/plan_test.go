@@ -285,3 +285,97 @@ func TestStepRanges(t *testing.T) {
 		}
 	}
 }
+
+// TestLowerMultiEquationWavefront checks the multi-equation tentpole at
+// the plan level: a strongly connected two-recurrence component lowers
+// to a single OpWavefront step whose body is one OpEq per equation, the
+// Hyper block carries the union of both equations' transformed
+// dependence vectors, and the predecessor-tile table folds the union.
+func TestLowerMultiEquationWavefront(t *testing.T) {
+	p := lower(t, psrc.CoupledGrid, "CoupledGrid", plan.Options{Hyperplane: true})
+	var wf *plan.Step
+	wfIdx := -1
+	for i := range p.Steps {
+		if p.Steps[i].Op == plan.OpWavefront {
+			if wf != nil {
+				t.Fatal("more than one wavefront step")
+			}
+			wf = &p.Steps[i]
+			wfIdx = i
+		}
+	}
+	if wf == nil {
+		t.Fatalf("no wavefront step in plan:\n%s", p)
+	}
+	body := p.Steps[wfIdx+1 : wf.End]
+	if len(body) != 2 {
+		t.Fatalf("wavefront body has %d steps, want 2:\n%s", len(body), p)
+	}
+	for _, st := range body {
+		if st.Op != plan.OpEq {
+			t.Fatalf("wavefront body step is %s, want eq", st.Op)
+		}
+	}
+	hy := wf.Hyper
+	if want := []int64{1, 1}; hy.Pi[0] != want[0] || hy.Pi[1] != want[1] {
+		t.Errorf("pi = %v, want %v", hy.Pi, want)
+	}
+	// Union of both recurrences: two (1,0) and two (0,1), transformed by
+	// T = [[1,1],[1,0]] to (1,1) and (1,0).
+	if len(hy.TDeps) != 4 {
+		t.Errorf("TDeps carries %d vectors, want the 4-vector union", len(hy.TDeps))
+	}
+	for _, d := range hy.TDeps {
+		if d[0] < 1 {
+			t.Errorf("transformed dependence %v has non-positive time component", d)
+		}
+	}
+	if hy.Window != 2 {
+		t.Errorf("window = %d, want 2", hy.Window)
+	}
+	// The predecessor table must span the union: on the one plane
+	// coordinate, offsets from both (1,*) transformed vectors.
+	if len(hy.Pred) != 1 || len(hy.Pred[0]) != 1 || !hy.Pred[0][0].Has {
+		t.Fatalf("Pred = %v, want one coordinate with a window-1 range", hy.Pred)
+	}
+	if pr := hy.Pred[0][0]; pr.Lo != 0 || pr.Hi != 1 {
+		t.Errorf("Pred range = [%d,%d], want [0,1] (union of both equations' shifts)", pr.Lo, pr.Hi)
+	}
+	// The listing and the compact form surface the group.
+	if s := p.String(); !strings.Contains(s, "kernels 2") {
+		t.Errorf("listing missing kernel count:\n%s", s)
+	}
+	if c := p.Compact(); !strings.Contains(c, "WAVEFRONT[pi=(1,1)]") || !strings.Contains(c, ";") {
+		t.Errorf("compact form missing multi-kernel wavefront: %q", c)
+	}
+}
+
+// TestLowerMultiEquationIneligible pins the negative shapes: a body
+// with a non-constant-offset group reference keeps its DO nest, and a
+// two-loop body (a component the scheduler split) is not a group.
+func TestLowerMultiEquationIneligible(t *testing.T) {
+	const reflectSrc = `
+Reflect: module (Seed: array[I,J] of real; N: int):
+    [OutX: array [I,J] of real; OutY: array [I,J] of real];
+type
+    I,J = 1 .. N;
+var
+    X: array [1 .. N, 1 .. N] of real;
+    Y: array [1 .. N, 1 .. N] of real;
+define
+    X[I,J] = if (I = 1) or (J = 1) then Seed[I,J]
+             else (X[I-1,J] + Y[I,J-1]) / 2.0;
+    Y[I,J] = if (I = 1) or (J = 1) then 0.5 * Seed[I,J]
+             else (Y[I-1,J] + X[I,J-1] + X[I-1, N+1-J]) / 3.0;
+    OutX[I,J] = X[I,J];
+    OutY[I,J] = Y[I,J];
+end Reflect;
+`
+	p := lower(t, reflectSrc, "Reflect", plan.Options{Hyperplane: true})
+	if p.HasWavefront() {
+		t.Errorf("non-constant-offset group was transformed:\n%s", p)
+	}
+	if got, want := p.Compact(), lower(t, reflectSrc, "Reflect", plan.Options{}).Compact(); got != want {
+		t.Errorf("auto and base plans differ for ineligible program:\n auto %q\n base %q", got, want)
+	}
+}

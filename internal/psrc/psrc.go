@@ -121,6 +121,33 @@ define
 end Pipeline;
 `
 
+// CoupledGrid is a two-equation strongly connected component scheduled
+// into one DO I (DO J (...)) nest: U and V read each other at [I-1,J]
+// and [I,J-1], so the cross dependences keep the component connected at
+// every recursion level. The multi-equation §4 analysis solves one time
+// vector pi = (1,1) for the union of the four dependence vectors, and
+// the lowered plan carries both kernels in a single wavefront step. The
+// module's (InitialA, M, maxK) signature and single newA result match
+// the cc validation harness; maxK only scales the combined output.
+const CoupledGrid = `
+CoupledGrid: module (InitialA: array[I,J] of real; M: int; maxK: int):
+    [newA: array [I,J] of real];
+type
+    I,J = 0 .. M+1;
+var
+    U: array [0 .. M+1, 0 .. M+1] of real;
+    V: array [0 .. M+1, 0 .. M+1] of real;
+define
+    U[I,J] = if (I = 0) or (J = 0)
+             then InitialA[I,J]
+             else (U[I-1,J] + V[I,J-1]) / 2.0;
+    V[I,J] = if (I = 0) or (J = 0)
+             then 0.5 * InitialA[I,J]
+             else (V[I-1,J] + U[I,J-1]) / 2.0;
+    newA[I,J] = U[I,J] + 0.125 * V[I,J] * float(maxK);
+end CoupledGrid;
+`
+
 // Wavefront2D is a 2-D recurrence with dependences inside the plane only
 // (no time dimension): both loops iterative under §3.3, a classic
 // hyperplane candidate.

@@ -1,25 +1,3 @@
-// Package sched implements the doacross pipelined executor for §4
-// wavefront nests. The barrier executor (internal/interp's default)
-// sweeps hyperplanes t = π·x one at a time, paying one pool-wide
-// fork/join barrier per plane; for narrow planes — the leading and
-// trailing diagonals of every sweep, and any nest whose plane width per
-// worker is small relative to the kernel cost — that barrier dominates.
-//
-// The doacross schedule removes it. One plane coordinate is blocked
-// into tiles with a fixed global grid; each tile carries an atomic
-// completion counter (the last hyperplane it finished), and a worker
-// entering tile k on plane t waits point-to-point only on the
-// predecessor tiles implied by the transformed dependence vectors —
-// bounded by the plan's dependence window — instead of on the whole
-// pool. Successive hyperplanes pipeline: while one tile is still on
-// plane t, its already-satisfied neighbours run planes t+1, t+2, …,
-// the way nested-dataflow schedulers (Dinh & Simhadri) execute fine
-// dependence chains without global synchronization.
-//
-// Tiles are claimed with a CAS so any worker may run any ready tile
-// instance (work stealing); a worker that finds nothing ready spins
-// briefly, then parks on a generation channel that every completion
-// closes. Stalls, executed tiles and steals are counted for RunStats.
 package sched
 
 import (

@@ -98,6 +98,14 @@ func variantPrograms(t *testing.T) []variantProgram {
 			[]any{gridRange(1, 9), int64(9)}},
 		{"testdata/mutual", mustRead(t, "testdata/mutual.ps"), "Mutual",
 			[]any{grid2D(6), int64(6)}},
+		{"testdata/coupled", mustRead(t, "testdata/coupled.ps"), "Coupled",
+			[]any{gridRange(1, 9), int64(9)}},
+		{"testdata/fuse_pair", mustRead(t, "testdata/fuse_pair.ps"), "FusePair",
+			[]any{grid2D(6), int64(6)}},
+		{"testdata/reflect", mustRead(t, "testdata/reflect.ps"), "Reflect",
+			[]any{gridRange(1, 8), int64(8)}},
+		{"psrc/CoupledGrid", psrc.CoupledGrid, "CoupledGrid",
+			[]any{grid2D(7), int64(7), int64(3)}},
 	}
 }
 
@@ -177,10 +185,12 @@ func TestVariantParity(t *testing.T) {
 
 // TestAutoHyperplaneEligibility pins down which corpus programs the
 // automatic §4 pass transforms: recurrence nests with constant-offset
-// dependences and a valid time vector become wavefront steps, while
-// ineligible shapes — 1-D recurrences, multi-equation components,
-// already-parallel nests — must keep their sequential DO loops. The
-// compact plan of the default (auto) variant is the witness.
+// dependences and a valid time vector become wavefront steps — since
+// the multi-equation extension, that includes strongly connected
+// components scheduled into one nest body — while ineligible shapes
+// (1-D recurrences, already-parallel nests, split components,
+// non-constant-offset group references) must keep their sequential DO
+// loops. The compact plan of the default (auto) variant is the witness.
 func TestAutoHyperplaneEligibility(t *testing.T) {
 	cases := []struct {
 		name      string
@@ -193,11 +203,17 @@ func TestAutoHyperplaneEligibility(t *testing.T) {
 		{"testdata/skew_stencil", mustRead(t, "testdata/skew_stencil.ps"), "SkewStencil", true, "pi=(1,1)"},
 		{"testdata/diag_chain", mustRead(t, "testdata/diag_chain.ps"), "DiagChain", true, "pi=(2,1)"},
 		{"psrc/Wavefront2D", psrc.Wavefront2D, "Wavefront2D", true, "pi=(1,1)"},
+		// Multi-equation positives: one time vector for the union of the
+		// group's dependence vectors.
+		{"testdata/coupled", mustRead(t, "testdata/coupled.ps"), "Coupled", true, "pi=(2,1)"},
+		{"psrc/CoupledGrid", psrc.CoupledGrid, "CoupledGrid", true, "pi=(1,1)"},
+		{"testdata/fuse_pair", mustRead(t, "testdata/fuse_pair.ps"), "FusePair", true, "pi=(1,1)"}, // two singleton wavefronts unfused
 		// Negative cases: the DO loops must survive untransformed.
-		{"psrc/Prefix", psrc.Prefix, "Prefix", false, ""},                           // 1-D recurrence: no plane to parallelize
-		{"testdata/mutual", mustRead(t, "testdata/mutual.ps"), "Mutual", false, ""}, // two-equation component
-		{"psrc/Relaxation", psrc.Relaxation, "Relaxation", false, ""},               // inner loops already DOALL
-		{"psrc/Heat1D", psrc.Heat1D, "Heat1D", false, ""},                           // inner loop already DOALL
+		{"psrc/Prefix", psrc.Prefix, "Prefix", false, ""},                              // 1-D recurrence: no plane to parallelize
+		{"testdata/mutual", mustRead(t, "testdata/mutual.ps"), "Mutual", false, ""},    // component split by the scheduler: two-loop body
+		{"testdata/reflect", mustRead(t, "testdata/reflect.ps"), "Reflect", false, ""}, // reflected column read: not a constant-offset dependence
+		{"psrc/Relaxation", psrc.Relaxation, "Relaxation", false, ""},                  // inner loops already DOALL
+		{"psrc/Heat1D", psrc.Heat1D, "Heat1D", false, ""},                              // inner loop already DOALL
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -237,6 +253,66 @@ func TestAutoHyperplaneEligibility(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestMultiEquationWavefront pins the multi-equation tentpole shapes:
+// a coupled two-recurrence component lowers to a single wavefront step
+// carrying both kernels, the §5-fused variants of the splittable
+// corpus programs collapse their merged bodies into one multi-kernel
+// wavefront, and a prepared Runner's Explain lists the equations
+// sharing the group's π under the wavefront step.
+func TestMultiEquationWavefront(t *testing.T) {
+	countWavefronts := func(compact string) int { return strings.Count(compact, "WAVEFRONT") }
+
+	coupled, err := ps.CompileProgram("coupled.ps", mustRead(t, "testdata/coupled.ps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := coupled.Module("Coupled")
+	compact := m.PlanCompact()
+	if countWavefronts(compact) != 1 || !strings.Contains(compact, "WAVEFRONT[pi=(2,1)] I×J (eq.2; eq.1)") {
+		t.Errorf("coupled auto plan is not a single two-kernel wavefront: %q", compact)
+	}
+	if pl := m.Plan(); !strings.Contains(pl, "kernels 2") {
+		t.Errorf("coupled plan listing missing the kernel-count marker:\n%s", pl)
+	}
+
+	run, err := coupled.Prepare("Coupled", ps.Workers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	explain := run.Explain()
+	for _, want := range []string{"kernels 2", "eq.2 -> V", "eq.1 -> U", "pi = (2,1)"} {
+		if !strings.Contains(explain, want) {
+			t.Errorf("Explain does not surface the equations sharing pi (missing %q):\n%s", want, explain)
+		}
+	}
+
+	// Fusion synergy: mutual's base variant stays sequential (its
+	// component splits into two inner nests), but the fused body merges
+	// into a group the union analysis transforms; fuse_pair goes from
+	// two singleton wavefronts to one two-kernel wavefront.
+	for _, tc := range []struct {
+		file, module string
+		baseWF       int
+		fusedCompact string
+	}{
+		{"testdata/mutual.ps", "Mutual", 0, "WAVEFRONT[pi=(1,1)] I×J (eq.2; eq.1)"},
+		{"testdata/fuse_pair.ps", "FusePair", 2, "WAVEFRONT[pi=(1,1)] I×J (eq.1; eq.2)"},
+	} {
+		prog, err := ps.CompileProgram(tc.file, mustRead(t, tc.file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod := prog.Module(tc.module)
+		if got := countWavefronts(mod.PlanCompact()); got != tc.baseWF {
+			t.Errorf("%s base plan has %d wavefront steps, want %d: %q", tc.module, got, tc.baseWF, mod.PlanCompact())
+		}
+		fused := mod.PlanCompactWith(ps.PlanOptions{Fused: true})
+		if countWavefronts(fused) != 1 || !strings.Contains(fused, tc.fusedCompact) {
+			t.Errorf("%s fused plan is not a single multi-kernel wavefront: %q", tc.module, fused)
+		}
 	}
 }
 
