@@ -71,6 +71,8 @@ func main() {
 	out := flag.String("out", "BENCH_wavefront.json", "output JSON path (- for stdout)")
 	workers := flag.Int("workers", 0, "parallel worker count (0 = all CPUs, min 2)")
 	benchtime := flag.Duration("benchtime", 200*time.Millisecond, "minimum measuring time per variant")
+	serveMode := flag.Bool("serve", false, "benchmark the HTTP serving layer (requests/s at client concurrency 1/8/64) instead of the wavefront variants")
+	serveOut := flag.String("serve-out", "BENCH_serve.json", "output JSON path for -serve (- for stdout)")
 	flag.Parse()
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
 		fatal(err)
@@ -84,6 +86,13 @@ func main() {
 		// One worker never exercises the parallel schedules; measure the
 		// dispatch overhead at minimal width instead of skipping them.
 		w = 2
+	}
+
+	if *serveMode {
+		if err := runServeBench(*serveOut, w, *benchtime*3); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	workloads := []workload{

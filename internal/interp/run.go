@@ -275,19 +275,35 @@ func (p *Program) RunCtx(ctx context.Context, name string, args []any, opts Opti
 	if m == nil {
 		return nil, fmt.Errorf("interp: no module %s", name)
 	}
+	rs, cleanup, err := p.newRunState(ctx, opts)
+	if err != nil {
+		return nil, &RunError{Module: m.Name, Err: err}
+	}
+	defer cleanup()
+	return p.runModule(rs, p.mods[m], args, false)
+}
+
+// newRunState builds the shared execution context of one activation (or
+// one batch of activations): the resolved context, the cancellation
+// flag watcher, and the worker pool. The returned cleanup stops the
+// watcher and closes a run-owned pool; call it when the run completes.
+// A context that is already done is reported as an error before any
+// state is created.
+func (p *Program) newRunState(ctx context.Context, opts Options) (*runState, func(), error) {
 	rs := &runState{opts: opts, ctx: ctx, stats: opts.Stats}
 	if ctx == nil {
 		rs.ctx = context.Background()
 	} else if err := ctx.Err(); err != nil {
-		return nil, &RunError{Module: m.Name, Err: err}
+		return nil, nil, err
 	}
+	cleanups := make([]func(), 0, 2)
 	if done := rs.ctx.Done(); done != nil {
 		// One watcher goroutine flips the flag the loops poll, keeping
 		// ctx.Err() calls off the per-iteration path.
 		var flag atomic.Bool
 		rs.canceled = &flag
 		stop := make(chan struct{})
-		defer close(stop)
+		cleanups = append(cleanups, func() { close(stop) })
 		go func() {
 			select {
 			case <-done:
@@ -304,10 +320,14 @@ func (p *Program) RunCtx(ctx context.Context, name string, args []any, opts Opti
 			// tree, so DOALL planes inside an iterative loop reuse parked
 			// workers instead of spawning goroutines per plane.
 			rs.pool = par.NewPool(opts.Workers)
-			defer rs.pool.Close()
+			cleanups = append(cleanups, rs.pool.Close)
 		}
 	}
-	return p.runModule(rs, p.mods[m], args, false)
+	return rs, func() {
+		for _, f := range cleanups {
+			f()
+		}
+	}, nil
 }
 
 func (p *Program) runModule(rs *runState, cm *compiledModule, args []any, inParallel bool) (results []any, err error) {

@@ -1,0 +1,137 @@
+package ps_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/ps"
+)
+
+// cacheSource returns structurally identical single-module programs
+// whose sources differ only in one digit, so every compiled program has
+// the same accounted size and eviction arithmetic is exact.
+func cacheSource(i int) (name, src string) {
+	return fmt.Sprintf("c%d", i), fmt.Sprintf(`
+M: module (X: real): [Y: real];
+define
+    Y = X + %d.0;
+end M;
+`, i)
+}
+
+// oneSize measures the accounted size of one cached program.
+func oneSize(t *testing.T) int64 {
+	t.Helper()
+	eng := ps.NewEngine(ps.EngineWorkers(1))
+	defer eng.Close()
+	name, src := cacheSource(0)
+	if _, err := eng.Compile(name+".ps", src); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.CacheBytes <= 0 {
+		t.Fatalf("accounted size %d, want > 0", st.CacheBytes)
+	}
+	return st.CacheBytes
+}
+
+// TestEngineCacheLRU pins the eviction policy: a budget of three
+// program-sizes holds exactly three programs, evicts in LRU order, and
+// a cache hit refreshes recency.
+func TestEngineCacheLRU(t *testing.T) {
+	size := oneSize(t)
+	eng := ps.NewEngine(ps.EngineWorkers(1), ps.WithCacheLimit(3*size))
+	defer eng.Close()
+
+	compile := func(i int) {
+		t.Helper()
+		name, src := cacheSource(i)
+		if _, err := eng.Compile(name+".ps", src); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := 0; i < 3; i++ {
+		compile(i)
+	}
+	if st := eng.Stats(); st.CachedPrograms != 3 || st.CacheEvictions != 0 {
+		t.Fatalf("after 3 compiles: %+v", st)
+	}
+
+	// Touch c0 (hit → most recent), then add c3: c1 is now LRU and goes.
+	compile(0)
+	if st := eng.Stats(); st.CacheHits != 1 {
+		t.Fatalf("recompile of cached program missed: %+v", st)
+	}
+	compile(3)
+	st := eng.Stats()
+	if st.CachedPrograms != 3 || st.CacheEvictions != 1 {
+		t.Fatalf("after overflow: %+v", st)
+	}
+
+	// c1 was evicted: compiling it again must miss; c0 must still hit.
+	missesBefore := st.CacheMisses
+	compile(1)
+	if st := eng.Stats(); st.CacheMisses != missesBefore+1 {
+		t.Fatalf("evicted program did not miss: %+v", st)
+	}
+	compile(0)
+	if st := eng.Stats(); st.CacheHits != 2 {
+		t.Fatalf("surviving program did not hit: %+v", st)
+	}
+	if st := eng.Stats(); st.CacheBytes > st.CacheLimit {
+		t.Fatalf("cache over budget: %+v", st)
+	}
+}
+
+// TestEngineCacheOversized pins the safety valve: one program larger
+// than the whole budget still caches (the most-recent entry is never
+// evicted), and the next compile displaces it.
+func TestEngineCacheOversized(t *testing.T) {
+	size := oneSize(t)
+	eng := ps.NewEngine(ps.EngineWorkers(1), ps.WithCacheLimit(size/2))
+	defer eng.Close()
+
+	name0, src0 := cacheSource(0)
+	if _, err := eng.Compile(name0+".ps", src0); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.CachedPrograms != 1 {
+		t.Fatalf("oversized program not cached: %+v", st)
+	}
+	// Immediately recompiling the oversized program is still a hit.
+	if _, err := eng.Compile(name0+".ps", src0); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.CacheHits != 1 {
+		t.Fatalf("oversized program did not hit: %+v", st)
+	}
+
+	name1, src1 := cacheSource(1)
+	if _, err := eng.Compile(name1+".ps", src1); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.CachedPrograms != 1 || st.CacheEvictions != 1 {
+		t.Fatalf("oversized entry not displaced: %+v", st)
+	}
+}
+
+// TestEngineCacheUnbounded pins the default: no limit, no evictions.
+func TestEngineCacheUnbounded(t *testing.T) {
+	eng := ps.NewEngine(ps.EngineWorkers(1))
+	defer eng.Close()
+	for i := 0; i < 8; i++ {
+		name, src := cacheSource(i)
+		if _, err := eng.Compile(name+".ps", src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats()
+	if st.CachedPrograms != 8 || st.CacheEvictions != 0 || st.CacheLimit != 0 {
+		t.Fatalf("unbounded cache: %+v", st)
+	}
+	if st.CacheMisses != 8 || st.CacheHits != 0 {
+		t.Fatalf("unbounded counters: %+v", st)
+	}
+}

@@ -3,6 +3,7 @@ package ps
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"repro/internal/ast"
 	"repro/internal/sem"
@@ -10,6 +11,44 @@ import (
 	"repro/internal/types"
 	"repro/internal/value"
 )
+
+// JSON has no encoding for non-finite floats — encoding/json fails on
+// them — so the wire format spells them as the strings below, in both
+// directions. This is the same convention most scientific JSON APIs
+// settle on, and it keeps NaN results (e.g. reads of FillNaN-seeded
+// debug arrays) servable instead of a 500.
+const (
+	jsonNaN    = "NaN"
+	jsonInf    = "Infinity"
+	jsonNegInf = "-Infinity"
+)
+
+// floatToJSON boxes a real for JSON encoding, spelling non-finite
+// values as strings.
+func floatToJSON(f float64) any {
+	switch {
+	case math.IsNaN(f):
+		return jsonNaN
+	case math.IsInf(f, 1):
+		return jsonInf
+	case math.IsInf(f, -1):
+		return jsonNegInf
+	}
+	return f
+}
+
+// floatFromJSONString maps the non-finite spellings back to floats.
+func floatFromJSONString(s string) (float64, bool) {
+	switch s {
+	case jsonNaN:
+		return math.NaN(), true
+	case jsonInf:
+		return math.Inf(1), true
+	case jsonNegInf:
+		return math.Inf(-1), true
+	}
+	return 0, false
+}
 
 // ArgsFromJSON converts a map of JSON parameter values into the argument
 // list for the named module: scalars as numbers/booleans/strings, arrays
@@ -82,9 +121,12 @@ func ResultsToJSON(p *Program, module string, results []any) (map[string]any, er
 	}
 	out := make(map[string]any, len(results))
 	for i, sym := range m.sem.Results {
-		if arr, isArr := results[i].(*value.Array); isArr {
-			out[sym.Name] = arrayToJSON(arr, make([]int64, 0, arr.Rank()))
-		} else {
+		switch v := results[i].(type) {
+		case *value.Array:
+			out[sym.Name] = arrayToJSON(v, make([]int64, 0, v.Rank()))
+		case float64:
+			out[sym.Name] = floatToJSON(v)
+		default:
 			out[sym.Name] = results[i]
 		}
 	}
@@ -96,6 +138,12 @@ func scalarFromJSON(raw json.RawMessage, t types.Type) (any, error) {
 	case types.RealKind:
 		var v float64
 		if err := json.Unmarshal(raw, &v); err != nil {
+			var s string
+			if serr := json.Unmarshal(raw, &s); serr == nil {
+				if f, ok := floatFromJSONString(s); ok {
+					return f, nil
+				}
+			}
 			return nil, err
 		}
 		return v, nil
@@ -150,6 +198,12 @@ func arrayFromJSON(raw json.RawMessage, elem types.Type, axes []value.Axis) (*va
 						arr.Set(idx, b)
 						continue
 					}
+					if s, isS := item.(string); isS && elem.Kind() == types.RealKind {
+						if f, isFin := floatFromJSONString(s); isFin {
+							arr.Set(idx, f)
+							continue
+						}
+					}
 					return fmt.Errorf("element %v is not a number", idx)
 				}
 				switch elem.Kind() {
@@ -177,7 +231,11 @@ func arrayToJSON(a *value.Array, prefix []int64) any {
 	for x := ax.Lo; x <= ax.Hi; x++ {
 		idx := append(prefix, x)
 		if d == a.Rank()-1 {
-			out = append(out, a.Get(idx))
+			v := a.Get(idx)
+			if f, isF := v.(float64); isF {
+				v = floatToJSON(f)
+			}
+			out = append(out, v)
 		} else {
 			out = append(out, arrayToJSON(a, idx))
 		}

@@ -1,0 +1,184 @@
+package ps_test
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/ps"
+)
+
+// jsonTypes exercises every JSON-convertible parameter and result
+// type: real/int/bool scalars and arrays, with the identity dataflow
+// so values survive a round trip bit-for-bit.
+const jsonTypes = `
+Types: module (R: real; N: int; B: bool;
+               Xs: array[I] of real; Ks: array[I] of int; Fs: array[I] of bool):
+       [S: real; Q: int; C: bool;
+        Ys: array [I] of real; Ms: array[I] of int; Gs: array[I] of bool];
+type I = 1 .. N;
+define
+    S = R;
+    Q = N;
+    C = B;
+    Ys[I] = Xs[I];
+    Ms[I] = Ks[I];
+    Gs[I] = Fs[I];
+end Types;
+`
+
+// TestJSONAllTypesRoundTrip pushes every value type through ArgsFromJSON → Run
+// → ResultsToJSON → json.Marshal and back, including the non-finite
+// reals JSON cannot natively encode: NaN and ±Inf travel as the
+// strings "NaN"/"Infinity"/"-Infinity" in both directions (this was a
+// real gap — json.Marshal fails outright on non-finite float64s).
+func TestJSONAllTypesRoundTrip(t *testing.T) {
+	prog, err := ps.CompileProgram("types.ps", jsonTypes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[string]json.RawMessage{
+		"R":  json.RawMessage(`"NaN"`),
+		"N":  json.RawMessage(`4`),
+		"B":  json.RawMessage(`true`),
+		"Xs": json.RawMessage(`[1.5, "NaN", "Infinity", "-Infinity"]`),
+		"Ks": json.RawMessage(`[1, -2, 3, -4]`),
+		"Fs": json.RawMessage(`[true, false, true, false]`),
+	}
+	args, err := ps.ArgsFromJSON(prog, "Types", inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := args[0].(float64); !math.IsNaN(r) {
+		t.Fatalf("scalar NaN input decoded as %v", args[0])
+	}
+	xs := args[3].(*ps.Array)
+	if v := xs.GetF([]int64{3}); !math.IsInf(v, 1) {
+		t.Fatalf("Xs[3] = %v, want +Inf", v)
+	}
+	if v := xs.GetF([]int64{4}); !math.IsInf(v, -1) {
+		t.Fatalf("Xs[4] = %v, want -Inf", v)
+	}
+
+	results, err := prog.Run("Types", args, ps.Workers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ps.ResultsToJSON(prog, "Types", results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The encodable map must actually encode — the NaN/Inf gap fails
+	// here without the string spelling.
+	data, err := json.Marshal(out)
+	if err != nil {
+		t.Fatalf("json.Marshal of results: %v", err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["S"] != "NaN" {
+		t.Errorf("S encoded as %v, want \"NaN\"", decoded["S"])
+	}
+	if decoded["Q"] != float64(4) || decoded["C"] != true {
+		t.Errorf("scalar results Q=%v C=%v", decoded["Q"], decoded["C"])
+	}
+	ys := decoded["Ys"].([]any)
+	if ys[0] != 1.5 || ys[1] != "NaN" || ys[2] != "Infinity" || ys[3] != "-Infinity" {
+		t.Errorf("Ys encoded as %v", ys)
+	}
+	ms := decoded["Ms"].([]any)
+	if ms[1] != float64(-2) {
+		t.Errorf("Ms encoded as %v", ms)
+	}
+	gs := decoded["Gs"].([]any)
+	if gs[0] != true || gs[1] != false {
+		t.Errorf("Gs encoded as %v", gs)
+	}
+
+	// Close the loop: the encoded results, renamed to the parameter
+	// names, must decode back into identical arguments.
+	back := map[string]json.RawMessage{
+		"N": json.RawMessage(`4`),
+		"B": mustRaw(t, decoded["C"]),
+		"R": mustRaw(t, decoded["S"]),
+	}
+	back["Xs"] = mustRaw(t, decoded["Ys"])
+	back["Ks"] = mustRaw(t, decoded["Ms"])
+	back["Fs"] = mustRaw(t, decoded["Gs"])
+	args2, err := ps.ArgsFromJSON(prog, "Types", back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs2 := args2[3].(*ps.Array)
+	for i := int64(1); i <= 4; i++ {
+		a, b := xs.GetF([]int64{i}), xs2.GetF([]int64{i})
+		if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+			t.Errorf("round-trip Xs[%d]: %v != %v", i, a, b)
+		}
+	}
+	if !args2[4].(*ps.Array).Equal(args[4].(*ps.Array)) {
+		t.Error("round-trip int array differs")
+	}
+	if !args2[5].(*ps.Array).Equal(args[5].(*ps.Array)) {
+		t.Error("round-trip bool array differs")
+	}
+}
+
+// TestJSONAllTypesErrors pins the error paths: missing inputs, shape
+// mismatches, and non-numeric garbage (a string that is not one of the
+// non-finite spellings must still be rejected).
+func TestJSONAllTypesErrors(t *testing.T) {
+	prog, err := ps.CompileProgram("types.ps", jsonTypes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := func() map[string]json.RawMessage {
+		return map[string]json.RawMessage{
+			"R":  json.RawMessage(`1.0`),
+			"N":  json.RawMessage(`2`),
+			"B":  json.RawMessage(`false`),
+			"Xs": json.RawMessage(`[1, 2]`),
+			"Ks": json.RawMessage(`[1, 2]`),
+			"Fs": json.RawMessage(`[true, true]`),
+		}
+	}
+
+	in := base()
+	delete(in, "Ks")
+	if _, err := ps.ArgsFromJSON(prog, "Types", in); err == nil {
+		t.Error("missing array input accepted")
+	}
+
+	in = base()
+	in["Xs"] = json.RawMessage(`[1, 2, 3]`)
+	if _, err := ps.ArgsFromJSON(prog, "Types", in); err == nil {
+		t.Error("wrong-length array accepted")
+	}
+
+	in = base()
+	in["Xs"] = json.RawMessage(`[1, "bogus"]`)
+	if _, err := ps.ArgsFromJSON(prog, "Types", in); err == nil {
+		t.Error("non-finite spelling \"bogus\" accepted")
+	}
+
+	in = base()
+	in["R"] = json.RawMessage(`"bogus"`)
+	if _, err := ps.ArgsFromJSON(prog, "Types", in); err == nil {
+		t.Error("scalar string \"bogus\" accepted as real")
+	}
+
+	if _, err := ps.ArgsFromJSON(prog, "NoSuch", base()); err == nil {
+		t.Error("unknown module accepted")
+	}
+}
+
+func mustRaw(t *testing.T, v any) json.RawMessage {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

@@ -158,6 +158,71 @@ func (r *Runner) Run(ctx context.Context, args []any) ([]any, *RunStats, error) 
 	return results, stats, nil
 }
 
+// Args is one activation's positional argument list — the element type
+// of a batch.
+type Args = []any
+
+// BatchResult is one batch element's outcome: exactly what Run would
+// have returned for the same argument list. Values is nil when Err is
+// non-nil.
+type BatchResult struct {
+	Values []any
+	Err    error
+}
+
+// RunBatch executes the module once per argument set, fused into a
+// single batch DOALL: the batch index becomes a synthesized outermost
+// parallel dimension (it appears in no equation subscript, so batch
+// elements are trivially independent under the paper's dependence
+// test), and the whole batch dispatches to the worker pool as one
+// parallel loop. Results are bitwise identical to len(batch)
+// sequential Run calls — per element, out[i] mirrors Run(ctx,
+// batch[i]) including its typed error — while plan lookup and the
+// one-shot wavefront grain calibration are paid once for the batch.
+// This is the serving layer's execution primitive: N pending requests
+// for one prepared Runner become one activation batch.
+//
+// The returned RunStats aggregates the whole batch (counters summed
+// over all elements, wall time for the fused dispatch). The error is
+// non-nil only for whole-batch failures — a closed engine or a context
+// that was already done; per-element failures land in their
+// BatchResult. An empty batch returns (nil, stats, nil).
+func (r *Runner) RunBatch(ctx context.Context, batch []Args) ([]BatchResult, *RunStats, error) {
+	o := r.opts
+	var st interp.Stats
+	o.Stats = &st
+	if eng := r.prog.eng; eng != nil {
+		if eng.closed.Load() {
+			return nil, &RunStats{Workers: 1}, &Error{Phase: PhaseRun, Module: r.mod.Name(), Err: errors.New("engine is closed")}
+		}
+		o.Pool = r.pool
+	}
+	start := time.Now()
+	results, errs, err := r.prog.ip.RunBatchCtx(ctx, r.mod.Name(), batch, o)
+	stats := &RunStats{
+		EquationInstances: st.EqInstances.Load(),
+		DOALLChunks:       st.Chunks.Load(),
+		WavefrontPlanes:   st.Planes.Load(),
+		DoacrossTiles:     st.Doacross.Tiles.Load(),
+		DoacrossStalls:    st.Doacross.Stalls.Load(),
+		DoacrossSteals:    st.Doacross.Steals.Load(),
+		Workers:           effectiveWorkers(o),
+		WallTime:          time.Since(start),
+	}
+	if err != nil {
+		return nil, stats, runError(r.mod.Name(), err)
+	}
+	out := make([]BatchResult, len(batch))
+	for i := range out {
+		if errs[i] != nil {
+			out[i].Err = runError(r.mod.Name(), errs[i])
+		} else {
+			out[i].Values = results[i]
+		}
+	}
+	return out, stats, nil
+}
+
 // RunNamed executes the module with arguments keyed by parameter name,
 // the natural shape for service payloads. Every declared parameter must
 // be present; unknown names are rejected.

@@ -1,0 +1,32 @@
+// Package serve is a batched multi-tenant HTTP/JSON serving layer
+// over ps.Engine.
+//
+// The core idea is the paper's §5 fusion argument turned sideways:
+// when N independent activations of the same module are pending, the
+// batch index appears in no subscript expression, so the dependence
+// test trivially admits a fused batch DOALL over the batch axis. The
+// server's batcher coalesces pending activations per (program, module)
+// pair within a configurable window and dispatches them as one
+// Runner.RunBatch call — results are bitwise identical to N sequential
+// Runner.Run calls, because every plan variant in this repository
+// computes identical values by construction.
+//
+// Around that core the package provides the operational surface a
+// shared engine needs:
+//
+//   - Admission control: per-tenant token-bucket rate quotas and
+//     bounded queues, answered with 429 + Retry-After; fair
+//     round-robin draining across tenants into each batch.
+//   - Graceful drain: Drain stops admission (503), flushes every
+//     queued activation, and waits for in-flight responses.
+//   - Plan-cache management: the engine's compiled-program cache is
+//     LRU-bounded (ps.WithCacheLimit) with compiled-size accounting;
+//     /reload re-reads the program directory, and the content-hash
+//     cache key makes unchanged programs free.
+//   - Observability: /metrics exposes Prometheus text-format counters
+//     (requests, rejections, batch-size histogram, queue depths, the
+//     run counters from RunStats, and engine cache stats), /explain
+//     prints a module's lowered plan, /healthz reports liveness.
+//
+// See cmd/psserve for the standalone binary.
+package serve

@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/ps"
+)
+
+// metrics is the server's counter set, rendered in Prometheus text
+// exposition format (version 0.0.4) by render. Everything is stdlib:
+// counters are atomics, labeled counters a mutex-guarded map, and the
+// batch-size histogram a fixed bucket ladder. Gauges that mirror live
+// state (queue depths, cache occupancy) are sampled at scrape time
+// from the server rather than double-booked here.
+type metrics struct {
+	requests *labeledCounter // by HTTP status code
+	rejected *labeledCounter // by admission reason
+
+	activations atomic.Int64 // batch elements completed successfully
+	runErrors   atomic.Int64 // batch elements that failed at run time
+	batches     atomic.Int64 // fused batch dispatches
+	batchSize   *histogram   // elements per dispatched batch
+	reloads     atomic.Int64 // successful /reload sweeps
+
+	// Run counters aggregated from every batch's RunStats — the same
+	// counters Runner.Run reports per activation.
+	eqInstances     atomic.Int64
+	doallChunks     atomic.Int64
+	wavefrontPlanes atomic.Int64
+	doacrossTiles   atomic.Int64
+	doacrossStalls  atomic.Int64
+	doacrossSteals  atomic.Int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests:  newLabeledCounter(),
+		rejected:  newLabeledCounter(),
+		batchSize: newHistogram(1, 2, 4, 8, 16, 32, 64, 128),
+	}
+}
+
+// noteRunStats folds one batch's RunStats into the aggregate run
+// counters.
+func (m *metrics) noteRunStats(st *ps.RunStats) {
+	if st == nil {
+		return
+	}
+	m.eqInstances.Add(st.EquationInstances)
+	m.doallChunks.Add(st.DOALLChunks)
+	m.wavefrontPlanes.Add(st.WavefrontPlanes)
+	m.doacrossTiles.Add(st.DoacrossTiles)
+	m.doacrossStalls.Add(st.DoacrossStalls)
+	m.doacrossSteals.Add(st.DoacrossSteals)
+}
+
+// labeledCounter is a counter family with one string label value per
+// series.
+type labeledCounter struct {
+	mu sync.Mutex
+	v  map[string]*atomic.Int64
+}
+
+func newLabeledCounter() *labeledCounter {
+	return &labeledCounter{v: make(map[string]*atomic.Int64)}
+}
+
+func (c *labeledCounter) add(label string, n int64) {
+	c.mu.Lock()
+	ctr, ok := c.v[label]
+	if !ok {
+		ctr = new(atomic.Int64)
+		c.v[label] = ctr
+	}
+	c.mu.Unlock()
+	ctr.Add(n)
+}
+
+// snapshot returns the series sorted by label for deterministic
+// rendering.
+func (c *labeledCounter) snapshot() []labeledValue {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]labeledValue, 0, len(c.v))
+	for label, ctr := range c.v {
+		out = append(out, labeledValue{label, ctr.Load()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].label < out[j].label })
+	return out
+}
+
+type labeledValue struct {
+	label string
+	value int64
+}
+
+// histogram is a cumulative-bucket histogram over int64 observations.
+type histogram struct {
+	bounds  []int64
+	buckets []atomic.Int64 // one per bound, plus +Inf at the end
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+func newHistogram(bounds ...int64) *histogram {
+	return &histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// render writes the full exposition. The live gauge values come from
+// the server: per-tenant queue depths and the engine cache snapshot.
+func (m *metrics) render(sb *strings.Builder, queueDepths []labeledValue, es ps.EngineStats) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	fmt.Fprintf(sb, "# HELP ps_serve_requests_total Activation requests by HTTP status code.\n# TYPE ps_serve_requests_total counter\n")
+	for _, lv := range m.requests.snapshot() {
+		fmt.Fprintf(sb, "ps_serve_requests_total{code=%q} %d\n", lv.label, lv.value)
+	}
+	fmt.Fprintf(sb, "# HELP ps_serve_rejected_total Requests rejected at admission, by reason.\n# TYPE ps_serve_rejected_total counter\n")
+	for _, lv := range m.rejected.snapshot() {
+		fmt.Fprintf(sb, "ps_serve_rejected_total{reason=%q} %d\n", lv.label, lv.value)
+	}
+
+	counter("ps_serve_activations_total", "Batch elements executed successfully.", m.activations.Load())
+	counter("ps_serve_run_errors_total", "Batch elements that failed at run time.", m.runErrors.Load())
+	counter("ps_serve_batches_total", "Fused batch dispatches.", m.batches.Load())
+	counter("ps_serve_reloads_total", "Successful program reload sweeps.", m.reloads.Load())
+
+	fmt.Fprintf(sb, "# HELP ps_serve_batch_size Elements per dispatched batch.\n# TYPE ps_serve_batch_size histogram\n")
+	var cum int64
+	for i, bound := range m.batchSize.bounds {
+		cum += m.batchSize.buckets[i].Load()
+		fmt.Fprintf(sb, "ps_serve_batch_size_bucket{le=\"%d\"} %d\n", bound, cum)
+	}
+	cum += m.batchSize.buckets[len(m.batchSize.bounds)].Load()
+	fmt.Fprintf(sb, "ps_serve_batch_size_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(sb, "ps_serve_batch_size_sum %d\n", m.batchSize.sum.Load())
+	fmt.Fprintf(sb, "ps_serve_batch_size_count %d\n", m.batchSize.count.Load())
+
+	fmt.Fprintf(sb, "# HELP ps_serve_queue_depth Requests queued per tenant, awaiting a batch.\n# TYPE ps_serve_queue_depth gauge\n")
+	for _, lv := range queueDepths {
+		fmt.Fprintf(sb, "ps_serve_queue_depth{tenant=%q} %d\n", lv.label, lv.value)
+	}
+
+	counter("ps_run_eq_instances_total", "Equation instances executed.", m.eqInstances.Load())
+	counter("ps_run_doall_chunks_total", "DOALL chunks dispatched to workers.", m.doallChunks.Load())
+	counter("ps_run_wavefront_planes_total", "Hyperplane launches of wavefront steps.", m.wavefrontPlanes.Load())
+	counter("ps_run_doacross_tiles_total", "Doacross tile instances executed.", m.doacrossTiles.Load())
+	counter("ps_run_doacross_stalls_total", "Doacross workers parked on predecessor tiles.", m.doacrossStalls.Load())
+	counter("ps_run_doacross_steals_total", "Doacross tile instances run by non-home workers.", m.doacrossSteals.Load())
+
+	counter("ps_engine_cache_hits_total", "Compile calls served from the program cache.", es.CacheHits)
+	counter("ps_engine_cache_misses_total", "Compile calls that missed the program cache.", es.CacheMisses)
+	counter("ps_engine_cache_evictions_total", "Programs evicted from the cache by the LRU budget.", es.CacheEvictions)
+	gauge("ps_engine_cache_programs", "Programs currently cached.", int64(es.CachedPrograms))
+	gauge("ps_engine_cache_bytes", "Compiled-size accounting of cached programs.", es.CacheBytes)
+}

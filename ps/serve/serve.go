@@ -1,0 +1,594 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/ps"
+)
+
+// Config parameterizes a Server. The zero value is usable: an owned
+// engine with all CPUs, a 2ms batch window, batches of up to 64, a
+// 256-deep per-tenant queue and no rate quota.
+type Config struct {
+	// Engine, when non-nil, is the execution engine to serve from; the
+	// server does not close it. When nil the server creates (and owns)
+	// one with Workers and CacheLimit.
+	Engine *ps.Engine
+	// Workers is the owned engine's pool width (<= 0 = all CPUs).
+	// Ignored when Engine is set.
+	Workers int
+	// CacheLimit bounds the owned engine's compiled-program cache in
+	// compiled-size bytes (0 = unbounded). Ignored when Engine is set.
+	CacheLimit int64
+	// RunOptions apply to every prepared Runner (schedule, hyperplane
+	// mode, grain, ...).
+	RunOptions []ps.RunOption
+
+	// BatchWindow is how long the batcher holds the first pending
+	// activation open for coalescing (default 2ms; negative disables
+	// the window, batching only what is already queued).
+	BatchWindow time.Duration
+	// MaxBatch closes a batch early when this many activations are
+	// pending (default 64).
+	MaxBatch int
+	// QueueDepth bounds each tenant's queued-but-unbatched requests
+	// (default 256; negative disables the bound).
+	QueueDepth int
+	// TenantRate is each tenant's token-bucket refill rate in requests
+	// per second (0 = no quota); TenantBurst is the bucket capacity
+	// (default: ceil(TenantRate), at least 1).
+	TenantRate  float64
+	TenantBurst int
+	// RunTimeout bounds one fused batch execution (0 = unbounded).
+	RunTimeout time.Duration
+
+	// Dir is the program directory served by LoadDir/-based reload:
+	// every *.ps file compiles to a program named after its base name.
+	Dir string
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.BatchWindow < 0 {
+		c.BatchWindow = 0
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 256
+	}
+	if c.TenantBurst <= 0 && c.TenantRate > 0 {
+		c.TenantBurst = int(c.TenantRate + 0.999)
+		if c.TenantBurst < 1 {
+			c.TenantBurst = 1
+		}
+	}
+	return c
+}
+
+// Server is the batched multi-tenant HTTP front end over a ps.Engine.
+// Activations POSTed to /v1/run are admitted per tenant (token-bucket
+// quota, bounded queue), coalesced per (program, module) into fused
+// batch DOALLs, and executed on the engine's shared pool; /metrics
+// exposes the Prometheus counters, /explain the lowered plan,
+// /healthz liveness, and /reload re-reads the program directory.
+//
+// Construct with New, serve s.Handler(), and stop with Drain (finish
+// queued and in-flight work, reject new) followed by Close.
+type Server struct {
+	cfg    Config
+	eng    *ps.Engine
+	ownEng bool
+	mux    *http.ServeMux
+
+	metrics  *metrics
+	draining atomic.Bool
+	// inflight counts handleRun calls that have not yet written their
+	// response. A plain atomic (Drain polls it) rather than a
+	// WaitGroup: requests keep arriving during drain — each gets a
+	// quick 503 — and WaitGroup forbids Add racing Wait across zero.
+	inflight atomic.Int64
+
+	mu       sync.Mutex
+	programs map[string]*servedProgram
+	tenants  map[string]*tenant
+	batchers map[string]*batcher
+}
+
+// servedProgram is one compiled source with its prepared runners.
+type servedProgram struct {
+	name   string
+	source string
+	prog   *ps.Program
+
+	mu      sync.Mutex
+	runners map[string]*ps.Runner
+}
+
+// runner prepares (once) and returns the module's Runner.
+func (sp *servedProgram) runner(module string, opts []ps.RunOption) (*ps.Runner, error) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if r, ok := sp.runners[module]; ok {
+		return r, nil
+	}
+	r, err := sp.prog.Prepare(module, opts...)
+	if err != nil {
+		return nil, err
+	}
+	sp.runners[module] = r
+	return r, nil
+}
+
+// New builds a Server. When cfg.Dir is set the directory is loaded
+// immediately; programs can also be added programmatically with
+// AddProgram.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		eng:      cfg.Engine,
+		metrics:  newMetrics(),
+		programs: make(map[string]*servedProgram),
+		tenants:  make(map[string]*tenant),
+		batchers: make(map[string]*batcher),
+	}
+	if s.eng == nil {
+		s.eng = ps.NewEngine(ps.EngineWorkers(cfg.Workers), ps.WithCacheLimit(cfg.CacheLimit))
+		s.ownEng = true
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /explain", s.handleExplain)
+	mux.HandleFunc("POST /reload", s.handleReload)
+	s.mux = mux
+	if cfg.Dir != "" {
+		if _, _, err := s.LoadDir(cfg.Dir); err != nil {
+			if s.ownEng {
+				s.eng.Close()
+			}
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Engine returns the engine the server executes on.
+func (s *Server) Engine() *ps.Engine { return s.eng }
+
+// AddProgram compiles and registers (or replaces) one program. A
+// changed source closes the program's batchers — queued requests still
+// run against the old compilation — and later requests batch against
+// the new one; an unchanged source is a no-op thanks to the engine's
+// content-hash cache.
+func (s *Server) AddProgram(name, source string) error {
+	prog, err := s.eng.Compile(name+".ps", source)
+	if err != nil {
+		return err
+	}
+	sp := &servedProgram{name: name, source: source, prog: prog, runners: make(map[string]*ps.Runner)}
+	s.mu.Lock()
+	old, existed := s.programs[name]
+	if existed && old.source == source {
+		s.mu.Unlock()
+		return nil
+	}
+	s.programs[name] = sp
+	var stale []*batcher
+	for key, b := range s.batchers {
+		if progName, _, _ := strings.Cut(key, "\x00"); progName == name {
+			stale = append(stale, b)
+			delete(s.batchers, key)
+		}
+	}
+	s.mu.Unlock()
+	for _, b := range stale {
+		b.close()
+	}
+	return nil
+}
+
+// RemoveProgram unregisters a program and closes its batchers.
+func (s *Server) RemoveProgram(name string) {
+	s.mu.Lock()
+	delete(s.programs, name)
+	var stale []*batcher
+	for key, b := range s.batchers {
+		if progName, _, _ := strings.Cut(key, "\x00"); progName == name {
+			stale = append(stale, b)
+			delete(s.batchers, key)
+		}
+	}
+	s.mu.Unlock()
+	for _, b := range stale {
+		b.close()
+	}
+}
+
+// LoadDir compiles every *.ps file in dir, registering each under its
+// base name, and removes served programs whose file disappeared. It
+// reports how many programs are now served and how many were added or
+// replaced by this sweep.
+func (s *Server) LoadDir(dir string) (loaded, changed int, err error) {
+	files, err := filepath.Glob(filepath.Join(dir, "*.ps"))
+	if err != nil {
+		return 0, 0, err
+	}
+	sort.Strings(files)
+	seen := make(map[string]bool, len(files))
+	for _, f := range files {
+		src, rerr := os.ReadFile(f)
+		if rerr != nil {
+			return loaded, changed, rerr
+		}
+		name := strings.TrimSuffix(filepath.Base(f), ".ps")
+		seen[name] = true
+		s.mu.Lock()
+		old, existed := s.programs[name]
+		unchanged := existed && old.source == string(src)
+		s.mu.Unlock()
+		if !unchanged {
+			if aerr := s.AddProgram(name, string(src)); aerr != nil {
+				return loaded, changed, fmt.Errorf("%s: %w", f, aerr)
+			}
+			changed++
+		}
+		loaded++
+	}
+	s.mu.Lock()
+	var gone []string
+	for name := range s.programs {
+		if !seen[name] {
+			gone = append(gone, name)
+		}
+	}
+	s.mu.Unlock()
+	for _, name := range gone {
+		s.RemoveProgram(name)
+		changed++
+	}
+	return loaded, changed, nil
+}
+
+// Programs lists the served program names, sorted.
+func (s *Server) Programs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.programs))
+	for name := range s.programs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// tenantFor returns (creating on first use) the named tenant.
+func (s *Server) tenantFor(name string) *tenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[name]
+	if !ok {
+		t = &tenant{name: name}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// batcherFor returns (creating on first use) the batcher of one
+// (program, module) pair.
+func (s *Server) batcherFor(progName, module string, runner *ps.Runner) *batcher {
+	key := progName + "\x00" + module
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.batchers[key]
+	if !ok {
+		b = newBatcher(s, runner)
+		s.batchers[key] = b
+	}
+	return b
+}
+
+// Drain gracefully stops the server: new requests are rejected with
+// 503, every queued activation is batched and executed, and Drain
+// returns when all in-flight requests have their responses (or ctx
+// expires; the error is then ctx.Err()). The engine stays usable —
+// call Close afterwards.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	bs := make([]*batcher, 0, len(s.batchers))
+	for _, b := range s.batchers {
+		bs = append(bs, b)
+	}
+	s.mu.Unlock()
+	for _, b := range bs {
+		b.close()
+	}
+	for _, b := range bs {
+		select {
+		case <-b.stopped:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	for s.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// Close releases the server's resources: batchers stop (without
+// waiting for queued work — call Drain first for graceful shutdown)
+// and an owned engine is closed.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.mu.Lock()
+	bs := make([]*batcher, 0, len(s.batchers))
+	for _, b := range s.batchers {
+		bs = append(bs, b)
+	}
+	s.batchers = make(map[string]*batcher)
+	s.mu.Unlock()
+	for _, b := range bs {
+		b.close()
+	}
+	for _, b := range bs {
+		<-b.stopped
+	}
+	if s.ownEng {
+		s.eng.Close()
+	}
+}
+
+// runRequest is the /v1/run payload.
+type runRequest struct {
+	Program string                     `json:"program"`
+	Module  string                     `json:"module"`
+	Tenant  string                     `json:"tenant,omitempty"`
+	Inputs  map[string]json.RawMessage `json:"inputs"`
+}
+
+// runResponse is the /v1/run success payload.
+type runResponse struct {
+	Program   string         `json:"program"`
+	Module    string         `json:"module"`
+	Results   map[string]any `json:"results"`
+	BatchSize int            `json:"batch_size"`
+	WallMs    float64        `json:"wall_ms"`
+}
+
+// errorResponse is every non-2xx payload.
+type errorResponse struct {
+	Error      string `json:"error"`
+	RetryAfter int    `json:"retry_after_seconds,omitempty"`
+}
+
+// maxBody bounds request payloads (arrays travel as JSON).
+const maxBody = 64 << 20
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	start := time.Now()
+	if s.draining.Load() {
+		s.metrics.rejected.add("draining", 1)
+		s.reject(w, http.StatusServiceUnavailable, 1, "server is draining")
+		return
+	}
+
+	var req runRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if req.Program == "" || req.Module == "" {
+		s.fail(w, http.StatusBadRequest, "program and module are required")
+		return
+	}
+	tenantName := req.Tenant
+	if tenantName == "" {
+		tenantName = r.Header.Get("X-PS-Tenant")
+	}
+	if tenantName == "" {
+		tenantName = "default"
+	}
+
+	s.mu.Lock()
+	sp, ok := s.programs[req.Program]
+	s.mu.Unlock()
+	if !ok {
+		s.fail(w, http.StatusNotFound, fmt.Sprintf("no program %q", req.Program))
+		return
+	}
+	runner, err := sp.runner(req.Module, s.cfg.RunOptions)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err.Error())
+		return
+	}
+	args, err := ps.ArgsFromJSON(sp.prog, req.Module, req.Inputs)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// Admission: quota first (cheap, no state to roll back), then the
+	// queue-depth reservation the batcher releases on drain.
+	t := s.tenantFor(tenantName)
+	if ok, retry := t.takeToken(s.cfg.TenantRate, s.cfg.TenantBurst, time.Now()); !ok {
+		s.metrics.rejected.add("quota", 1)
+		s.reject(w, http.StatusTooManyRequests, retrySeconds(retry), fmt.Sprintf("tenant %q over rate quota", tenantName))
+		return
+	}
+	if !t.tryEnqueue(s.cfg.QueueDepth) {
+		s.metrics.rejected.add("queue_full", 1)
+		s.reject(w, http.StatusTooManyRequests, retrySeconds(s.cfg.BatchWindow), fmt.Sprintf("tenant %q queue is full", tenantName))
+		return
+	}
+
+	p := &pending{tenant: t, args: args, outcome: make(chan outcome, 1)}
+	// The batcher can close underfoot (drain or reload); re-resolve
+	// once before giving up.
+	enqueued := false
+	for attempt := 0; attempt < 2 && !enqueued; attempt++ {
+		enqueued = s.batcherFor(req.Program, req.Module, runner).enqueue(p)
+		if !enqueued && s.draining.Load() {
+			break
+		}
+	}
+	if !enqueued {
+		t.release()
+		s.metrics.rejected.add("draining", 1)
+		s.reject(w, http.StatusServiceUnavailable, 1, "server is draining")
+		return
+	}
+
+	select {
+	case out := <-p.outcome:
+		if out.err != nil {
+			s.fail(w, http.StatusInternalServerError, out.err.Error())
+			return
+		}
+		results, err := ps.ResultsToJSON(sp.prog, req.Module, out.values)
+		if err != nil {
+			s.fail(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		s.metrics.requests.add("200", 1)
+		writeJSON(w, http.StatusOK, runResponse{
+			Program:   req.Program,
+			Module:    req.Module,
+			Results:   results,
+			BatchSize: out.batchSize,
+			WallMs:    float64(time.Since(start).Microseconds()) / 1000,
+		})
+	case <-r.Context().Done():
+		// Client gone: the batch still runs (results are discarded via
+		// the buffered outcome channel); account the abandonment.
+		s.metrics.requests.add("499", 1)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	depths := make([]labeledValue, 0, len(s.tenants))
+	for name, t := range s.tenants {
+		depths = append(depths, labeledValue{name, t.queued.Load()})
+	}
+	s.mu.Unlock()
+	sort.Slice(depths, func(i, j int) bool { return depths[i].label < depths[j].label })
+	var sb strings.Builder
+	s.metrics.render(&sb, depths, s.eng.Stats())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, sb.String())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	progName := r.URL.Query().Get("program")
+	module := r.URL.Query().Get("module")
+	if progName == "" || module == "" {
+		s.fail(w, http.StatusBadRequest, "program and module query parameters are required")
+		return
+	}
+	s.mu.Lock()
+	sp, ok := s.programs[progName]
+	s.mu.Unlock()
+	if !ok {
+		s.fail(w, http.StatusNotFound, fmt.Sprintf("no program %q", progName))
+		return
+	}
+	runner, err := sp.runner(module, s.cfg.RunOptions)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, runner.Explain())
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Dir == "" {
+		s.fail(w, http.StatusBadRequest, "server has no program directory configured")
+		return
+	}
+	loaded, changed, err := s.LoadDir(s.cfg.Dir)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.metrics.reloads.Add(1)
+	writeJSON(w, http.StatusOK, map[string]int{"programs": loaded, "changed": changed})
+}
+
+// reject answers an admission failure with Retry-After guidance.
+func (s *Server) reject(w http.ResponseWriter, code, retryAfter int, msg string) {
+	if retryAfter < 1 {
+		retryAfter = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	s.metrics.requests.add(strconv.Itoa(code), 1)
+	writeJSON(w, code, errorResponse{Error: msg, RetryAfter: retryAfter})
+}
+
+// fail answers a non-retryable failure.
+func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
+	s.metrics.requests.add(strconv.Itoa(code), 1)
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Headers are out; nothing more to do.
+		_ = err
+	}
+}
+
+// retrySeconds converts a wait hint to whole Retry-After seconds.
+func retrySeconds(d time.Duration) int {
+	if d <= 0 {
+		return 1
+	}
+	sec := int((d + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// tenant is one traffic source's admission state: a token bucket for
+// rate quota and a queued-request count for the backpressure bound.
+// Tenants are identified by the request's tenant field (or the
+// X-PS-Tenant header); unidentified traffic shares the "default"
+// tenant.
+type tenant struct {
+	name string
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+
+	// queued counts requests admitted but not yet taken into a batch,
+	// across every batcher. It is the /metrics queue-depth gauge and
+	// the value bounded by Config.QueueDepth.
+	queued atomic.Int64
+}
+
+// takeToken consumes one quota token, refilling the bucket first.
+// rate <= 0 disables the quota. When the bucket is empty it reports
+// how long until the next token accrues — the Retry-After hint.
+func (t *tenant) takeToken(rate float64, burst int, now time.Time) (ok bool, retryAfter time.Duration) {
+	if rate <= 0 {
+		return true, 0
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.last.IsZero() {
+		t.tokens = float64(burst)
+	} else {
+		t.tokens += now.Sub(t.last).Seconds() * rate
+		if t.tokens > float64(burst) {
+			t.tokens = float64(burst)
+		}
+	}
+	t.last = now
+	if t.tokens >= 1 {
+		t.tokens--
+		return true, 0
+	}
+	deficit := 1 - t.tokens
+	return false, time.Duration(math.Ceil(deficit/rate*1000)) * time.Millisecond
+}
+
+// tryEnqueue reserves one queue slot under the per-tenant bound; the
+// batcher releases it when the request is taken into a batch. depth
+// <= 0 disables the bound.
+func (t *tenant) tryEnqueue(depth int) bool {
+	if depth <= 0 {
+		t.queued.Add(1)
+		return true
+	}
+	for {
+		q := t.queued.Load()
+		if q >= int64(depth) {
+			return false
+		}
+		if t.queued.CompareAndSwap(q, q+1) {
+			return true
+		}
+	}
+}
+
+// release returns a queue slot (request taken into a batch, or
+// admission rolled back).
+func (t *tenant) release() { t.queued.Add(-1) }
