@@ -8,13 +8,19 @@
 // Usage:
 //
 //	psbench [-out BENCH_wavefront.json] [-workers N] [-benchtime 200ms]
+//	        [-compare old.json] [-cpuprofile f] [-memprofile f]
 //
-// The output maps benchmark names (module/Variant) to ns/op:
+// The output maps benchmark names (module/Variant) to ns/op and
+// allocations per run:
 //
 //	{"workers": 4, "benchmarks": [
-//	  {"name": "gauss_seidel/Seq", "ns_per_op": 1842003, "runs": 8},
-//	  {"name": "gauss_seidel/DoacrossPar4", "ns_per_op": 612345, "runs": 21},
+//	  {"name": "gauss_seidel/Seq", "ns_per_op": 1842003, "allocs_per_op": 12, "runs": 8},
+//	  {"name": "gauss_seidel/DoacrossPar4", "ns_per_op": 612345, "allocs_per_op": 90, "runs": 21},
 //	  ...]}
+//
+// -compare reads a previous psbench output and fails (exit 1) when any
+// benchmark present in both files regressed by more than 10% ns/op —
+// the CI guard against performance backsliding.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -32,9 +39,10 @@ import (
 
 // benchResult is one measured variant.
 type benchResult struct {
-	Name    string `json:"name"`
-	NsPerOp int64  `json:"ns_per_op"`
-	Runs    int    `json:"runs"`
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	Runs        int    `json:"runs"`
 }
 
 // benchFile is the JSON document psbench writes.
@@ -52,6 +60,33 @@ type workload struct {
 	module string
 	args   func() []any
 }
+
+// activationChain is the repeated-activation workload: a pipeline of
+// local stage arrays whose allocation (not computation) dominates the
+// run, so the arena's effect on allocs/op is directly visible in the
+// Seq vs SeqNoArena pair.
+const activationChain = `
+ActChain: module (X: array[I,J] of real; N: int): [Out: array[I,J] of real];
+type
+    I, J = 1 .. N;
+var
+    S1, S2, S3, S4, S5, S6, S7, S8, S9, S10, S11, S12: array[I,J] of real;
+define
+    S1[I,J] = X[I,J] + 1.0;
+    S2[I,J] = S1[I,J] * 0.5;
+    S3[I,J] = S2[I,J] + S1[I,J];
+    S4[I,J] = S3[I,J] * 0.25;
+    S5[I,J] = S4[I,J] - S2[I,J];
+    S6[I,J] = S5[I,J] * S3[I,J];
+    S7[I,J] = S6[I,J] + S4[I,J];
+    S8[I,J] = S7[I,J] * 0.125;
+    S9[I,J] = S8[I,J] + S6[I,J];
+    S10[I,J] = S9[I,J] * S7[I,J];
+    S11[I,J] = S10[I,J] - S8[I,J];
+    S12[I,J] = S11[I,J] * 0.5;
+    Out[I,J] = S12[I,J] + S1[I,J];
+end ActChain;
+`
 
 // seedGrid builds an (m+2)×(m+2) grid with zero boundary.
 func seedGrid(m int64) *ps.Array {
@@ -73,9 +108,37 @@ func main() {
 	benchtime := flag.Duration("benchtime", 200*time.Millisecond, "minimum measuring time per variant")
 	serveMode := flag.Bool("serve", false, "benchmark the HTTP serving layer (requests/s at client concurrency 1/8/64) instead of the wavefront variants")
 	serveOut := flag.String("serve-out", "BENCH_serve.json", "output JSON path for -serve (- for stdout)")
+	compare := flag.String("compare", "", "previous psbench JSON to compare against; exit 1 on >10% ns/op regression")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	flag.Parse()
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
 		fatal(err)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 
 	w := *workers
@@ -100,12 +163,26 @@ func main() {
 			func() []any { return []any{seedGrid(96), int64(96), int64(6)} }},
 		{"wavefront2d", psrc.Wavefront2D, "Wavefront2D",
 			func() []any { return []any{seedGrid(128), int64(128)} }},
+		{"activation_chain", activationChain, "ActChain",
+			func() []any {
+				const n = 32
+				a := ps.NewRealArray(ps.Axis{Lo: 1, Hi: n}, ps.Axis{Lo: 1, Hi: n})
+				for i := int64(1); i <= n; i++ {
+					for j := int64(1); j <= n; j++ {
+						a.SetF([]int64{i, j}, float64((i*7+j)%13)/13.0)
+					}
+				}
+				return []any{a, int64(n)}
+			}},
 	}
 	variants := []struct {
 		name string
 		opts []ps.RunOption
 	}{
 		{"Seq", []ps.RunOption{ps.Sequential()}},
+		// SeqNoArena isolates the arena's contribution: identical
+		// execution with activation-array pooling disabled.
+		{"SeqNoArena", []ps.RunOption{ps.Sequential(), ps.NoArena()}},
 		{fmt.Sprintf("HyperOffPar%d", w), []ps.RunOption{ps.Workers(w), ps.WithHyperplane(ps.HyperplaneOff)}},
 		{fmt.Sprintf("AutoPar%d", w), []ps.RunOption{ps.Workers(w)}},
 		{fmt.Sprintf("BarrierPar%d", w), []ps.RunOption{ps.Workers(w), ps.WithSchedule(ps.ScheduleBarrier)}},
@@ -132,6 +209,7 @@ func main() {
 				fatal(err)
 			}
 			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, _, err := run.Run(nil, args); err != nil {
 						b.Fatal(err)
@@ -139,12 +217,13 @@ func main() {
 				}
 			})
 			doc.Benchmarks = append(doc.Benchmarks, benchResult{
-				Name:    wl.name + "/" + v.name,
-				NsPerOp: res.NsPerOp(),
-				Runs:    res.N,
+				Name:        wl.name + "/" + v.name,
+				NsPerOp:     res.NsPerOp(),
+				AllocsPerOp: res.AllocsPerOp(),
+				Runs:        res.N,
 			})
-			fmt.Fprintf(os.Stderr, "psbench: %-32s %12d ns/op (n=%d)\n",
-				wl.name+"/"+v.name, res.NsPerOp(), res.N)
+			fmt.Fprintf(os.Stderr, "psbench: %-32s %12d ns/op %8d allocs/op (n=%d)\n",
+				wl.name+"/"+v.name, res.NsPerOp(), res.AllocsPerOp(), res.N)
 		}
 	}
 
@@ -155,11 +234,54 @@ func main() {
 	data = append(data, '\n')
 	if *out == "-" {
 		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
+
+	if *compare != "" {
+		if err := compareAgainst(*compare, &doc); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// compareAgainst checks the fresh results against a previous psbench
+// output and errors when any benchmark present in both regressed by
+// more than 10% ns/op. Benchmarks appearing in only one file (renamed
+// or newly added variants) are ignored, so the gate survives corpus
+// growth.
+func compareAgainst(path string, doc *benchFile) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var old benchFile
+	if err := json.Unmarshal(data, &old); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	base := make(map[string]int64, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		base[b.Name] = b.NsPerOp
+	}
+	var regressed []string
+	for _, b := range doc.Benchmarks {
+		was, ok := base[b.Name]
+		if !ok || was <= 0 {
+			continue
+		}
+		ratio := float64(b.NsPerOp) / float64(was)
+		mark := " "
+		if ratio > 1.10 {
+			mark = "!"
+			regressed = append(regressed, b.Name)
+		}
+		fmt.Fprintf(os.Stderr, "psbench: compare %s %-32s %12d -> %12d ns/op (%+.1f%%)\n",
+			mark, b.Name, was, b.NsPerOp, (ratio-1)*100)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed >10%% vs %s: %v", len(regressed), path, regressed)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -5,7 +5,8 @@
 //
 //	psrun [-module name] [-workers N] [-seq] [-strict] [-grain N]
 //	      [-fused] [-hyperplane auto|off] [-schedule auto|barrier|doacross]
-//	      [-timeout d] [-stats] [-explain] [-in inputs.json] file.ps
+//	      [-timeout d] [-stats] [-explain] [-in inputs.json]
+//	      [-cpuprofile f] [-memprofile f] file.ps
 //
 // The input file maps parameter names to values: scalars as JSON numbers
 // or booleans, arrays as (nested) JSON lists. Array parameter bounds are
@@ -16,7 +17,8 @@
 //
 // -timeout bounds the run with a context deadline; -stats prints the
 // run's counters (equation instances, DOALL chunks, workers, wall time)
-// to standard error. -explain prints the lowered loop plan the selected
+// to standard error. -cpuprofile and -memprofile write pprof profiles
+// covering the run (CPU sampled across it, heap captured at exit). -explain prints the lowered loop plan the selected
 // options would execute — the flat IR shared by the interpreter and the
 // C generator — without running the module.
 //
@@ -33,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/ps"
 )
@@ -50,10 +54,37 @@ func main() {
 	stats := flag.Bool("stats", false, "print run statistics to stderr")
 	explain := flag.Bool("explain", false, "print the lowered loop plan and exit without running")
 	inFile := flag.String("in", "", "JSON file with parameter values (default: {} )")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
 		fatalUsage(errors.New("usage: psrun [flags] file.ps"))
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalUsage(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalUsage(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "psrun:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "psrun:", err)
+			}
+		}()
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {

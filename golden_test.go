@@ -84,6 +84,11 @@ func TestGoldenPlanListings(t *testing.T) {
 
 	fp := goldenModule(t, mustRead(t, "testdata/fuse_pair.ps"), "FusePair")
 	checkGolden(t, "fuse_pair_plan_fused.txt", fp.PlanWith(ps.PlanOptions{Fused: true}))
+
+	// The DP-wavefront corpus program: anti-diagonal time vector with
+	// an integer-sequence comparison feeding the recurrence.
+	sw := goldenModule(t, mustRead(t, "testdata/smith_waterman.ps"), "SmithWaterman")
+	checkGolden(t, "smith_waterman_plan.txt", sw.Plan())
 }
 
 // TestGoldenPlanCompact pins the one-line Figure 6-style plan of every

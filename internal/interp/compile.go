@@ -75,6 +75,9 @@ func (cm *compiledModule) variant(fuse, hyper bool) *compiledPlan {
 type compiledPlan struct {
 	pl      *plan.Program
 	kernels []kernelFn
+	// spans holds each equation's span executor (specialized direct
+	// kernel or generic wrapper), aligned index-for-index with pl.Eqs.
+	spans []eqSpan
 	// allocs describes the result and local arrays allocated per
 	// activation, with §3.4 windows resolved at compile time.
 	allocs []allocInfo
@@ -147,6 +150,13 @@ type allocInfo struct {
 	si   int
 	elem types.Kind
 	dims []allocDim
+	// zero means a recycled arena backing must be cleared: the write-
+	// coverage analysis could not prove every element is defined before
+	// being read. Fresh allocations are zero either way.
+	zero bool
+	// local marks module locals, whose backing returns to the arena when
+	// the activation completes (results outlive it).
+	local bool
 }
 
 // allocDim is one dimension of an allocated array: the frame slot whose
@@ -207,24 +217,28 @@ func (p *Program) compileModule(m *sem.Module, sched *core.Schedule) (cm *compil
 		cm.slotOf[b.Subrange] = i
 		cm.bounds[i] = [2]evalI{c.compileI(b.Lo), c.compileI(b.Hi)}
 	}
-	// Equation kernels compile once and are shared by every variant.
+	// Equation kernels compile once and are shared by every variant; the
+	// specializer runs right after each checked kernel, falling back to
+	// it for shapes outside the recognized fragment.
 	kernels := make(map[*sem.Equation]kernelFn, len(m.Eqs))
+	specs := make(map[*sem.Equation]eqSpan, len(m.Eqs))
 	for _, eq := range m.Eqs {
 		c.eq = eq
 		kernels[eq] = c.compileEquation(eq)
+		specs[eq] = c.specializeEquation(eq, kernels[eq])
 		c.eq = nil
 	}
-	cm.plans[0][0] = cm.bindPlan(basePl, kernels)
-	cm.plans[1][0] = cm.bindPlan(fusedPl, kernels)
+	cm.plans[0][0] = cm.bindPlan(basePl, kernels, specs)
+	cm.plans[1][0] = cm.bindPlan(fusedPl, kernels, specs)
 	// A module with no §4-eligible nest lowers identically with
 	// hyperplane on; share the untransformed compiledPlan then.
 	if hyperPl.HasWavefront() {
-		cm.plans[0][1] = cm.bindPlan(hyperPl, kernels)
+		cm.plans[0][1] = cm.bindPlan(hyperPl, kernels, specs)
 	} else {
 		cm.plans[0][1] = cm.plans[0][0]
 	}
 	if hyperFusedPl.HasWavefront() {
-		cm.plans[1][1] = cm.bindPlan(hyperFusedPl, kernels)
+		cm.plans[1][1] = cm.bindPlan(hyperFusedPl, kernels, specs)
 	} else {
 		cm.plans[1][1] = cm.plans[1][0]
 	}
@@ -234,10 +248,15 @@ func (p *Program) compileModule(m *sem.Module, sched *core.Schedule) (cm *compil
 // bindPlan aligns the shared kernel table with one plan variant's
 // equation order and resolves the variant's allocation descriptors
 // (windows come from the variant's own virtual report).
-func (cm *compiledModule) bindPlan(pl *plan.Program, kernels map[*sem.Equation]kernelFn) *compiledPlan {
-	cp := &compiledPlan{pl: pl, kernels: make([]kernelFn, len(pl.Eqs))}
+func (cm *compiledModule) bindPlan(pl *plan.Program, kernels map[*sem.Equation]kernelFn, specs map[*sem.Equation]eqSpan) *compiledPlan {
+	cp := &compiledPlan{
+		pl:      pl,
+		kernels: make([]kernelFn, len(pl.Eqs)),
+		spans:   make([]eqSpan, len(pl.Eqs)),
+	}
 	for i, eq := range pl.Eqs {
 		cp.kernels[i] = kernels[eq]
+		cp.spans[i] = specs[eq]
 	}
 	m := cm.m
 	win := pl.Windows()
@@ -246,7 +265,12 @@ func (cm *compiledModule) bindPlan(pl *plan.Program, kernels map[*sem.Equation]k
 		if !isArr {
 			continue
 		}
-		al := allocInfo{si: cm.symIdx[sym], elem: arr.Elem.Kind()}
+		al := allocInfo{
+			si:    cm.symIdx[sym],
+			elem:  arr.Elem.Kind(),
+			zero:  !writeCovered(m, sym),
+			local: sym.Kind == sem.LocalSym,
+		}
 		for d, sr := range arr.Dims {
 			al.dims = append(al.dims, allocDim{slot: cm.slotOf[sr], window: win[sym][d]})
 		}

@@ -59,6 +59,14 @@ type Options struct {
 	Pool *par.Pool
 	// Stats, when non-nil, accumulates execution counters for the run.
 	Stats *Stats
+	// NoSpecialize disables the direct-kernel fast path, forcing every
+	// span through the checked closure tree (the parity/ablation
+	// baseline for kernel specialization).
+	NoSpecialize bool
+	// NoArena disables arena recycling of activation arrays; every
+	// run allocates fresh zeroed backings (the allocation-trajectory
+	// baseline).
+	NoArena bool
 }
 
 // HyperplaneMode controls the automatic §4 restructuring of sequential
@@ -97,6 +105,13 @@ type Stats struct {
 	// tile instances, stalls (parked waits on predecessor tiles) and
 	// steals. All zero when every wavefront ran the barrier schedule.
 	Doacross sched.Stats
+	// Specialized counts equation instances executed through the
+	// branch-free specialized kernel path (a subset of EqInstances);
+	// the remainder ran the checked closure tree.
+	Specialized atomic.Int64
+	// ArenaReuses counts activation arrays whose backing was recycled
+	// from the arena instead of freshly allocated.
+	ArenaReuses atomic.Int64
 }
 
 // RunError describes a failure while executing a module: which module,
@@ -127,6 +142,10 @@ type Program struct {
 	Prog   *sem.Program
 	Scheds map[*sem.Module]*core.Schedule
 	mods   map[*sem.Module]*compiledModule
+	// arena recycles activation-array backings across runs (and across
+	// concurrent runs; it is goroutine-safe). Strict-mode runs and
+	// Options.NoArena bypass it.
+	arena *value.Arena
 }
 
 // runtimeError wraps execution failures carried by panic across the
@@ -147,6 +166,7 @@ func Compile(prog *sem.Program) (*Program, error) {
 		Prog:   prog,
 		Scheds: make(map[*sem.Module]*core.Schedule),
 		mods:   make(map[*sem.Module]*compiledModule),
+		arena:  &value.Arena{},
 	}
 	for _, m := range prog.Modules {
 		if _, done := p.mods[m]; done {
@@ -238,6 +258,12 @@ type env struct {
 	// eqCount counts equation instances executed through this env (or a
 	// per-chunk copy of it); deltas are flushed into rs.stats.
 	eqCount int64
+	// specCount counts the subset of eqCount that ran the specialized
+	// branch-free kernel path.
+	specCount int64
+	// noSpec forces every span through the checked kernel
+	// (Options.NoSpecialize).
+	noSpec bool
 	// curEq is the kernel index of the equation currently executing
 	// (an index into cp.pl.Eqs), or -1; read when a runtime failure
 	// needs attribution.
@@ -336,9 +362,15 @@ func (p *Program) runModule(rs *runState, cm *compiledModule, args []any, inPara
 		// Flush sequential instance counts whether the run completed,
 		// failed or was cancelled: RunStats promises the counters
 		// accumulated up to the abort.
-		if rs.stats != nil && en != nil && en.eqCount != 0 {
-			rs.stats.EqInstances.Add(en.eqCount)
-			en.eqCount = 0
+		if rs.stats != nil && en != nil {
+			if en.eqCount != 0 {
+				rs.stats.EqInstances.Add(en.eqCount)
+				en.eqCount = 0
+			}
+			if en.specCount != 0 {
+				rs.stats.Specialized.Add(en.specCount)
+				en.specCount = 0
+			}
 		}
 		if r := recover(); r != nil {
 			curEq := ""
@@ -373,6 +405,7 @@ func (p *Program) runModule(rs *runState, cm *compiledModule, args []any, inPara
 		arrays:     make([]*value.Array, len(cm.syms)),
 		rs:         rs,
 		strict:     opts.Strict,
+		noSpec:     opts.NoSpecialize,
 		inParallel: inParallel,
 		curEq:      -1,
 	}
@@ -401,9 +434,24 @@ func (p *Program) runModule(rs *runState, cm *compiledModule, args []any, inPara
 
 	// Allocate result and local arrays from the plan variant's
 	// precomputed descriptors, honoring virtual dimensions unless
-	// ablated.
+	// ablated. Non-strict runs draw backings from the program arena,
+	// zeroing recycled storage only when the write-coverage analysis
+	// could not prove every element is defined before being read.
+	arena := p.arena
+	if opts.Strict || opts.NoArena {
+		arena = nil
+	}
+	// One axes block serves every array of the activation: each array
+	// gets a full-capped sub-slice, so the per-array descriptor
+	// allocations collapse into a single make.
+	nAxes := 0
 	for _, al := range en.cp.allocs {
-		axes := make([]value.Axis, len(al.dims))
+		nAxes += len(al.dims)
+	}
+	axesBuf := make([]value.Axis, nAxes)
+	for _, al := range en.cp.allocs {
+		axes := axesBuf[:len(al.dims):len(al.dims)]
+		axesBuf = axesBuf[len(al.dims):]
 		for d, ad := range al.dims {
 			b := en.bounds[ad.slot]
 			axes[d] = value.Axis{Lo: b[0], Hi: b[1]}
@@ -411,7 +459,10 @@ func (p *Program) runModule(rs *runState, cm *compiledModule, args []any, inPara
 				axes[d].Window = ad.window
 			}
 		}
-		a := value.NewArray(al.elem, axes)
+		a, reused := arena.NewArrayIn(al.elem, axes, al.zero)
+		if reused && rs.stats != nil {
+			rs.stats.ArenaReuses.Add(1)
+		}
 		if opts.Strict {
 			a.EnableStrict()
 		}
@@ -432,6 +483,17 @@ func (p *Program) runModule(rs *runState, cm *compiledModule, args []any, inPara
 			results[i] = en.arrays[si]
 		} else {
 			results[i] = en.scalars[si]
+		}
+	}
+	// Local arrays die with the activation: recycle their backings.
+	// (A local slot holding a callee's result array is still the only
+	// live reference — callee results transfer ownership.) Results are
+	// never released here; their owner is the caller.
+	if arena != nil {
+		for _, al := range en.cp.allocs {
+			if al.local {
+				arena.Release(en.arrays[al.si])
+			}
 		}
 	}
 	return results, nil
@@ -516,6 +578,10 @@ func (p *Program) execSteps(en *env, fr []int64, lo, hi int) {
 	}
 }
 
+// unitDir is the span direction of a DOALL row: the innermost collapsed
+// dimension advances by one per point. Read-only.
+var unitDir = []int64{1}
+
 // execDoAll runs one (pre-collapsed) DOALL step: the plan has already
 // flattened directly nested parallel loops into one linear iteration
 // space, so execution only resolves bounds and dispatches chunks.
@@ -541,6 +607,31 @@ func (p *Program) execDoAll(en *env, fr []int64, st *plan.Step, bodyLo int) {
 			fr[st.Dims[d]] = lob[d]
 		}
 		canceled := rs.canceled
+		if st.Leaf {
+			// Leaf fast path: the body is equation steps only, so hand
+			// each kernel a full innermost row as one span (specialized
+			// kernels advance the flat offset incrementally; the generic
+			// wrapper walks point-by-point — behavior unchanged).
+			rowLen := hib[ndim-1] - lob[ndim-1] + 1
+			rowSlots := st.Dims[ndim-1:]
+			steps := en.cp.pl.Steps
+			spans := en.cp.spans
+			for c := int64(0); c < total; c += rowLen {
+				if canceled != nil && canceled.Load() {
+					panic(runtimeError{err: rs.ctx.Err()})
+				}
+				for k := bodyLo; k < bodyHi; k++ {
+					eqi := steps[k].Eq
+					en.curEq = int32(eqi)
+					spans[eqi].fn(en, fr, rowSlots, unitDir, rowLen)
+				}
+				// The span restored the innermost coordinate; jump it to
+				// the row end so advance carries into the outer dims.
+				fr[st.Dims[ndim-1]] = hib[ndim-1]
+				advance(fr, st.Dims, &lob, &hib)
+			}
+			return
+		}
 		for c := int64(0); c < total; c++ {
 			if canceled != nil && canceled.Load() {
 				panic(runtimeError{err: rs.ctx.Err()})
@@ -575,10 +666,12 @@ func (p *Program) execDoAll(en *env, fr []int64, st *plan.Step, bodyLo int) {
 		sub := &ws.en
 		sub.inParallel = true
 		sub.eqCount = 0
+		sub.specCount = 0
 		defer func() {
 			if rs.stats != nil {
 				rs.stats.Chunks.Add(1)
 				rs.stats.EqInstances.Add(sub.eqCount)
+				rs.stats.Specialized.Add(sub.specCount)
 			}
 			if r := recover(); r != nil {
 				switch e := r.(type) {
@@ -602,20 +695,28 @@ func (p *Program) execDoAll(en *env, fr []int64, st *plan.Step, bodyLo int) {
 			rem /= n
 		}
 		if leaf {
-			// Leaf fast path: the body is equation steps only, so run the
-			// kernels directly without re-entering the step dispatcher.
-			kernels := sub.cp.kernels
+			// Leaf fast path: the body is equation steps only, so hand
+			// the kernels row spans clipped to this chunk instead of
+			// re-entering the step dispatcher per point.
 			steps := sub.cp.pl.Steps
-			for li := start; ; li++ {
+			spans := sub.cp.spans
+			innerSlot := st.Dims[ndim-1]
+			rowSlots := st.Dims[ndim-1:]
+			for li := start; ; {
+				seg := hib[ndim-1] - wfr[innerSlot] + 1
+				if li+seg-1 > end {
+					seg = end - li + 1
+				}
 				for k := bodyLo; k < bodyHi; k++ {
 					eqi := steps[k].Eq
 					sub.curEq = int32(eqi)
-					sub.eqCount++
-					kernels[eqi](sub, wfr)
+					spans[eqi].fn(sub, wfr, rowSlots, unitDir, seg)
 				}
-				if li == end {
+				li += seg
+				if li > end {
 					break
 				}
+				wfr[innerSlot] += seg - 1
 				advance(wfr, st.Dims, &lob, &hib)
 			}
 			return
@@ -658,6 +759,17 @@ type wfSpace struct {
 	tlo, thi [plan.MaxCollapse]int64
 	// piLoSum, piHiSum bound Σ π_j·x_j over the box (π non-negative).
 	piLoSum, piHiSum int64
+	// row is the plane coordinate kernels sweep as spans: the basis
+	// coordinate of the innermost original dimension when one exists
+	// (unit array stride, so specialized kernels advance flat offsets
+	// by ±1), else the last plane coordinate.
+	row int
+	// ord lists the remaining plane coordinates in increasing order;
+	// the plane's linear index is decomposed ord-major, row fastest.
+	ord []int
+	// dcol is T⁻¹'s column for row: the per-point motion of every
+	// original coordinate along a row span.
+	dcol []int64
 }
 
 // resolve fills the space from the activation's bounds; false means
@@ -693,6 +805,24 @@ func (w *wfSpace) resolve(en *env, st *plan.Step, bodyLo int) bool {
 	for j := 0; j < w.n; j++ {
 		w.piLoSum += w.hy.Pi[j] * w.lo[j]
 		w.piHiSum += w.hy.Pi[j] * w.hi[j]
+	}
+	w.row = w.n - 1
+	bestJ := -1
+	for r := 1; r < w.n; r++ {
+		if j := w.hy.Basis[r]; j > bestJ {
+			bestJ = j
+			w.row = r
+		}
+	}
+	w.ord = w.ord[:0]
+	for r := 1; r < w.n; r++ {
+		if r != w.row {
+			w.ord = append(w.ord, r)
+		}
+	}
+	w.dcol = w.dcol[:0]
+	for j := 0; j < w.n; j++ {
+		w.dcol = append(w.dcol, w.hy.TInv[j][w.row])
 	}
 	return true
 }
@@ -737,23 +867,109 @@ func (w *wfSpace) planeBounds(t int64, plo, phi *[plan.MaxCollapse]int64) int64 
 	return planeTotal
 }
 
-// execPlaneBox runs total candidate points of plane t over the ranges
-// plo..phi on the calling goroutine, polling cancellation per point.
-func (p *Program) execPlaneBox(en *env, fr []int64, w *wfSpace, t int64, plo, phi *[plan.MaxCollapse]int64, total int64) {
+// execPlaneBox runs the candidate points [start, end] (linear indices
+// into the plane's bounding box, row coordinate fastest) of plane t on
+// the calling goroutine. Each row of the box is handled as one segment:
+// the sub-interval of points whose T⁻¹ preimage lies in the original
+// iteration box is solved in closed form (the preimage moves by dcol
+// per step, so each original dimension bounds a k-interval), and the
+// feasible run is handed to the kernels as a single span — in-box
+// filtering costs a few divisions per row instead of a branch per
+// point, and specialized kernels advance flat offsets incrementally
+// across the run. Exactly the original points execute, each once, in
+// group order per point sequence, so results are bitwise identical to
+// the per-point walk. Cancellation is polled per row.
+func (p *Program) execPlaneBox(en *env, fr []int64, w *wfSpace, t int64, plo, phi *[plan.MaxCollapse]int64, start, end int64) {
+	n, row := w.n, w.row
+	rowLen := phi[row] - plo[row] + 1
 	var xpBuf, xBuf [plan.MaxCollapse]int64
-	xp, x := xpBuf[:w.n], xBuf[:w.n]
+	xp, x := xpBuf[:n], xBuf[:n]
 	xp[0] = t
-	for r := 1; r < w.n; r++ {
-		xp[r] = plo[r]
+	// Decompose start: row-fastest, then w.ord outer coordinates with
+	// the last ord entry varying next-fastest.
+	rem := start / rowLen
+	xp[row] = plo[row] + start%rowLen
+	for oi := len(w.ord) - 1; oi >= 0; oi-- {
+		r := w.ord[oi]
+		span := phi[r] - plo[r] + 1
+		xp[r] = plo[r] + rem%span
+		rem /= span
 	}
 	preimage(w.hy.TInv, xp, x)
 	canceled := en.rs.canceled
-	for c := int64(0); c < total; c++ {
+	dcol := w.dcol
+	spans := en.cp.spans
+	dims := w.st.Dims
+	for li := start; li <= end; {
 		if canceled != nil && canceled.Load() {
 			panic(runtimeError{err: en.rs.ctx.Err()})
 		}
-		wavefrontPoint(en, fr, w.st, x, &w.lo, &w.hi, w.eqis)
-		advancePlane(xp, x, w.hy.TInv, plo, phi)
+		seg := phi[row] - xp[row] + 1
+		if li+seg-1 > end {
+			seg = end - li + 1
+		}
+		// Feasible sub-interval of this segment: lo ≤ x + k·dcol ≤ hi
+		// per original dimension, intersected over all of them.
+		kLo, kHi := int64(0), seg-1
+		for j := 0; j < n; j++ {
+			switch d := dcol[j]; {
+			case d == 0:
+				if x[j] < w.lo[j] || x[j] > w.hi[j] {
+					kLo, kHi = seg, seg-1
+				}
+			case d > 0:
+				if q := ceilDiv(w.lo[j]-x[j], d); q > kLo {
+					kLo = q
+				}
+				if q := floorDiv(w.hi[j]-x[j], d); q < kHi {
+					kHi = q
+				}
+			default:
+				if q := ceilDiv(x[j]-w.hi[j], -d); q > kLo {
+					kLo = q
+				}
+				if q := floorDiv(x[j]-w.lo[j], -d); q < kHi {
+					kHi = q
+				}
+			}
+		}
+		if kLo <= kHi {
+			for j := 0; j < n; j++ {
+				fr[dims[j]] = x[j] + kLo*dcol[j]
+			}
+			cnt := kHi - kLo + 1
+			for _, eqi := range w.eqis {
+				en.curEq = int32(eqi)
+				spans[eqi].fn(en, fr, dims, dcol, cnt)
+			}
+		}
+		li += seg
+		if li > end {
+			break
+		}
+		// Advance to the next row: rewind the row coordinate, then bump
+		// the ord odometer (last entry fastest), updating the preimage
+		// with T⁻¹ columns.
+		if back := xp[row] - plo[row]; back != 0 {
+			for j := 0; j < n; j++ {
+				x[j] -= back * dcol[j]
+			}
+			xp[row] = plo[row]
+		}
+		for oi := len(w.ord) - 1; oi >= 0; oi-- {
+			r := w.ord[oi]
+			if xp[r]++; xp[r] <= phi[r] {
+				for j := 0; j < n; j++ {
+					x[j] += w.hy.TInv[j][r]
+				}
+				break
+			}
+			span := phi[r] - plo[r]
+			xp[r] = plo[r]
+			for j := 0; j < n; j++ {
+				x[j] -= span * w.hy.TInv[j][r]
+			}
+		}
 	}
 }
 
@@ -784,7 +1000,16 @@ func (p *Program) useDoacross(en *env, w *wfSpace) bool {
 	if avgWidth < 1 {
 		avgWidth = 1
 	}
-	return avgWidth < en.cp.wavefrontGrain()*int64(en.rs.pool.Workers())
+	grain := en.cp.wavefrontGrain()
+	if en.cp.wfCost.Load() != 0 && avgWidth < grain {
+		// The measured kernel cost says every plane fits under the
+		// inline threshold: the barrier sweep runs the whole nest on the
+		// sweeping goroutine with zero dispatch, which no pipeline can
+		// beat at this width. (Before calibration the default grain is
+		// not evidence, so narrow planes still pipeline below.)
+		return false
+	}
+	return avgWidth < grain*int64(en.rs.pool.Workers())
 }
 
 // execWavefront runs one §4-restructured nest: hyperplanes t = π·x
@@ -809,7 +1034,6 @@ func (p *Program) execWavefront(en *env, fr []int64, st *plan.Step, bodyLo int) 
 		p.execWavefrontDoacross(en, fr, &w)
 		return
 	}
-	hy, n := w.hy, w.n
 	canceled := rs.canceled
 	// Planes too small to amortize a pool dispatch run inline — the
 	// narrow leading and trailing hyperplanes of every sweep. The
@@ -837,14 +1061,14 @@ func (p *Program) execWavefront(en *env, fr []int64, st *plan.Step, bodyLo int) 
 				// cost (executed points, not box slack).
 				before := en.eqCount
 				start := time.Now()
-				p.execPlaneBox(en, fr, &w, t, &plo, &phi, planeTotal)
+				p.execPlaneBox(en, fr, &w, t, &plo, &phi, 0, planeTotal-1)
 				if points := w.points(en.eqCount - before); points > 0 {
 					en.cp.noteWavefrontCost(points, time.Since(start))
 					inline = en.cp.wavefrontGrain()
 				}
 				continue
 			}
-			p.execPlaneBox(en, fr, &w, t, &plo, &phi, planeTotal)
+			p.execPlaneBox(en, fr, &w, t, &plo, &phi, 0, planeTotal-1)
 			continue
 		}
 
@@ -868,10 +1092,12 @@ func (p *Program) execWavefront(en *env, fr []int64, st *plan.Step, bodyLo int) 
 			sub := &ws.en
 			sub.inParallel = true
 			sub.eqCount = 0
+			sub.specCount = 0
 			defer func() {
 				if rs.stats != nil {
 					rs.stats.Chunks.Add(1)
 					rs.stats.EqInstances.Add(sub.eqCount)
+					rs.stats.Specialized.Add(sub.specCount)
 				}
 				if r := recover(); r != nil {
 					switch e := r.(type) {
@@ -888,23 +1114,7 @@ func (p *Program) execWavefront(en *env, fr []int64, st *plan.Step, bodyLo int) 
 				}
 				cm.ws.Put(ws)
 			}()
-			var xpBuf, xBuf [plan.MaxCollapse]int64
-			xp, x := xpBuf[:n], xBuf[:n]
-			xp[0] = t
-			rem := start
-			for r := n - 1; r >= 1; r-- {
-				span := phi[r] - plo[r] + 1
-				xp[r] = plo[r] + rem%span
-				rem /= span
-			}
-			preimage(hy.TInv, xp, x)
-			for li := start; ; li++ {
-				wavefrontPoint(sub, wfr, w.st, x, &w.lo, &w.hi, w.eqis)
-				if li == end {
-					break
-				}
-				advancePlane(xp, x, hy.TInv, &plo, &phi)
-			}
+			p.execPlaneBox(sub, wfr, &w, t, &plo, &phi, start, end)
 		})
 		if panicked != nil {
 			panic(panicked)
@@ -1014,10 +1224,12 @@ func (p *Program) execDoacrossTile(en *env, fr []int64, w *wfSpace, t int64, plo
 	sub := &ws.en
 	sub.inParallel = true
 	sub.eqCount = 0
+	sub.specCount = 0
 	ok = true
 	defer func() {
 		if rs.stats != nil {
 			rs.stats.EqInstances.Add(sub.eqCount)
+			rs.stats.Specialized.Add(sub.specCount)
 		}
 		if r := recover(); r != nil {
 			switch e := r.(type) {
@@ -1041,13 +1253,13 @@ func (p *Program) execDoacrossTile(en *env, fr []int64, w *wfSpace, t int64, plo
 	if en.cp.wfCost.Load() == 0 && total >= 2 {
 		before := sub.eqCount
 		start := time.Now()
-		p.execPlaneBox(sub, wfr, w, t, plo, phi, total)
+		p.execPlaneBox(sub, wfr, w, t, plo, phi, 0, total-1)
 		if points := w.points(sub.eqCount - before); points > 0 {
 			en.cp.noteWavefrontCost(points, time.Since(start))
 		}
 		return ok
 	}
-	p.execPlaneBox(sub, wfr, w, t, plo, phi, total)
+	p.execPlaneBox(sub, wfr, w, t, plo, phi, 0, total-1)
 	return ok
 }
 
@@ -1075,45 +1287,6 @@ func preimage(tinv [][]int64, xp, x []int64) {
 			v += c * xp[r]
 		}
 		x[j] = v
-	}
-}
-
-// wavefrontPoint runs the group's recurrence kernels — in group order —
-// at the preimage point x when it lies in the original iteration box
-// (outside points are bounding-box slack).
-func wavefrontPoint(en *env, fr []int64, st *plan.Step, x []int64, lo, hi *[plan.MaxCollapse]int64, eqis []int) {
-	for j, v := range x {
-		if v < lo[j] || v > hi[j] {
-			return
-		}
-	}
-	for j, v := range x {
-		fr[st.Dims[j]] = v
-	}
-	for _, eqi := range eqis {
-		en.curEq = int32(eqi)
-		en.eqCount++
-		en.cp.kernels[eqi](en, fr)
-	}
-}
-
-// advancePlane steps xp one point through the plane's bounding box —
-// transformed dimensions 1..n-1, innermost fastest; dimension 0 (the
-// time axis) stays fixed — and updates the preimage x incrementally:
-// bumping xp[r] adds T⁻¹'s column r, wrapping subtracts its span.
-func advancePlane(xp, x []int64, tinv [][]int64, tlo, thi *[plan.MaxCollapse]int64) {
-	for r := len(xp) - 1; r >= 1; r-- {
-		if xp[r]++; xp[r] <= thi[r] {
-			for j := range x {
-				x[j] += tinv[j][r]
-			}
-			return
-		}
-		span := thi[r] - tlo[r]
-		xp[r] = tlo[r]
-		for j := range x {
-			x[j] -= span * tinv[j][r]
-		}
 	}
 }
 

@@ -1,0 +1,182 @@
+package interp_test
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/plan"
+	"repro/internal/psrc"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// reflectedRead is a recurrence whose group reference reads a
+// reflected column: the subscript N + 1 - J has coefficient -1, so the
+// specializer must keep the generic checked kernel for it.
+const reflectedRead = `
+Mirror: module (Seed: array[I,J] of real; N: int): [Out: array[I,J] of real];
+type
+    I, J = 1 .. N;
+var
+    X: array [1 .. N, 1 .. N] of real;
+define
+    (*eq.1*) X[I,J] = if I = 1 then Seed[I,J]
+             else X[I-1, N+1-J] + Seed[I,J];
+    (*eq.2*) Out[I,J] = X[I,J];
+end Mirror;
+`
+
+// TestKernelEligibility pins which corpus equations compile to a
+// specialized kernel and why the negatives stay generic. The positive
+// set is deliberately broad — every wavefront corpus equation must
+// specialize, and so do degenerate single-point spans like Prefix's
+// P[1] — while the pinned negatives cover the bail-outs: module calls
+// and non-unit-stride subscripts.
+func TestKernelEligibility(t *testing.T) {
+	cases := []struct {
+		name, src, module string
+		want              map[string]bool // equation label -> specialized
+		reasons           map[string]string
+	}{
+		{"RelaxationGS", psrc.RelaxationGS, "Relaxation",
+			map[string]bool{"eq.1": true, "eq.2": true, "eq.3": true}, nil},
+		{"Wavefront2D", psrc.Wavefront2D, "Wavefront2D",
+			map[string]bool{"eq.1": true, "eq.2": true}, nil},
+		{"Heat1D", psrc.Heat1D, "Heat1D",
+			map[string]bool{"eq.1": true, "eq.2": true, "eq.3": true}, nil},
+		{"CoupledGrid", psrc.CoupledGrid, "CoupledGrid",
+			map[string]bool{"eq.1": true, "eq.2": true, "eq.3": true}, nil},
+		{"Prefix", psrc.Prefix, "Prefix",
+			map[string]bool{"eq.1": true, "eq.2": true, "eq.3": true}, nil},
+		{"Pipeline", psrc.Pipeline, "Pipeline",
+			map[string]bool{"eq.1": false, "eq.2": false},
+			map[string]string{"eq.1": "module call"}},
+		{"Mirror", reflectedRead, "Mirror",
+			map[string]bool{"eq.1": false, "eq.2": true},
+			map[string]string{"eq.1": "subscript N + 1 - J is not unit-stride"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ip := compileSrc(t, tc.src)
+			got := map[string]bool{}
+			reasons := map[string]string{}
+			for _, ks := range ip.Kernels(tc.module, plan.Options{Hyperplane: true}) {
+				got[ks.Eq] = ks.Specialized
+				reasons[ks.Eq] = ks.Reason
+			}
+			for eq, want := range tc.want {
+				if got[eq] != want {
+					t.Errorf("%s specialized=%v (reason %q), want %v", eq, got[eq], reasons[eq], want)
+				}
+			}
+			for eq, want := range tc.reasons {
+				if reasons[eq] != want {
+					t.Errorf("%s reason = %q, want %q", eq, reasons[eq], want)
+				}
+			}
+		})
+	}
+}
+
+// TestSpanDispatchParity runs the wavefront corpus programs with the
+// specialized kernels enabled and disabled across every executor path —
+// sequential leaf spans, barrier plane sweeps, doacross tiles — and
+// demands bitwise-identical results, plus honest Specialized counters:
+// positive by default, zero under NoSpecialize and Strict (the
+// certified fast path must never claim checked points).
+func TestSpanDispatchParity(t *testing.T) {
+	ip := compileSrc(t, psrc.RelaxationGS)
+	const m, maxK = 11, 6
+	want := runGS(t, ip, m, maxK, interp.Options{Sequential: true, NoSpecialize: true, NoArena: true})
+	for _, tc := range []struct {
+		name        string
+		opts        interp.Options
+		specialized bool
+	}{
+		{"Seq", interp.Options{Sequential: true}, true},
+		{"SeqNoArena", interp.Options{Sequential: true, NoArena: true}, true},
+		{"SeqNoSpec", interp.Options{Sequential: true, NoSpecialize: true}, false},
+		{"Par2", interp.Options{Workers: 2}, true},
+		{"Par4NoSpec", interp.Options{Workers: 4, NoSpecialize: true}, false},
+		{"Par4", interp.Options{Workers: 4}, true},
+		{"StrictSeq", interp.Options{Sequential: true, Strict: true}, false},
+		{"StrictPar2", interp.Options{Workers: 2, Strict: true}, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var st interp.Stats
+			opts := tc.opts
+			opts.Stats = &st
+			got := runGS(t, ip, m, maxK, opts)
+			if !got.Equal(want) {
+				t.Error("result diverges from the generic sequential reference")
+			}
+			spec := st.Specialized.Load()
+			if tc.specialized && spec == 0 {
+				t.Error("specialized kernels did not execute")
+			}
+			if !tc.specialized && spec != 0 {
+				t.Errorf("Specialized = %d on a generic-only run", spec)
+			}
+			if eq := st.EqInstances.Load(); spec > eq {
+				t.Errorf("Specialized (%d) exceeds EqInstances (%d)", spec, eq)
+			}
+		})
+	}
+}
+
+// TestSpanParityRepeated re-runs one compiled program many times with
+// the arena enabled, interleaving parallel and sequential activations:
+// recycled backings must never leak one run's values into the next
+// (the write-coverage zeroing decision is what is under test).
+func TestSpanParityRepeated(t *testing.T) {
+	ip := compileSrc(t, psrc.Wavefront2D)
+	const n = 9
+	ref, err := ip.Run("Wavefront2D", []any{grid(n), int64(n)}, interp.Options{Sequential: true, NoArena: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref[0].(*value.Array)
+	for rep := 0; rep < 6; rep++ {
+		opts := interp.Options{Sequential: rep%2 == 0}
+		if !opts.Sequential {
+			opts.Workers = 2 + rep%3
+		}
+		res, err := ip.Run("Wavefront2D", []any{grid(n), int64(n)}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res[0].(*value.Array); !got.Equal(want) {
+			t.Fatalf("rep %d diverges under arena reuse", rep)
+		}
+	}
+}
+
+// BenchmarkKernelDispatch measures the per-point cost of the generic
+// checked closure tree against the specialized span kernel on the
+// 3-point stencil (psrc.Smooth), the smallest body where addressing
+// overhead dominates.
+func BenchmarkKernelDispatch(b *testing.B) {
+	ip := compileSrc(b, psrc.Smooth)
+	const n = 4096
+	xs := value.NewArray(types.RealKind, []value.Axis{{Lo: 0, Hi: n + 1}})
+	for i := int64(0); i <= n+1; i++ {
+		xs.SetF([]int64{i}, float64((i*13+5)%23)/7.0)
+	}
+	args := []any{xs, int64(n)}
+	for _, tc := range []struct {
+		name string
+		opts interp.Options
+	}{
+		{"Specialized", interp.Options{Sequential: true}},
+		{"Generic", interp.Options{Sequential: true, NoSpecialize: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ip.Run("Smooth", args, tc.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

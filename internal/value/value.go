@@ -61,6 +61,10 @@ type Array struct {
 	// defined, when non-nil, tracks definedness per element to detect
 	// reads of undefined elements and single-assignment violations.
 	defined []bool
+
+	// pooled marks a backing slice handed out by an Arena, so Release
+	// knows the storage may be recycled.
+	pooled bool
 }
 
 // NewArray allocates an array of the given element kind and axes.

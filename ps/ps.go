@@ -165,6 +165,16 @@ func Strict() RunOption { return func(o *interp.Options) { o.Strict = true } }
 // NoVirtual disables §3.4 window allocation (every dimension physical).
 func NoVirtual() RunOption { return func(o *interp.Options) { o.NoVirtual = true } }
 
+// NoSpecialize disables the specialized recurrence kernels and runs
+// every equation through the generic checked evaluator — a debugging
+// and benchmarking control; results are identical either way.
+func NoSpecialize() RunOption { return func(o *interp.Options) { o.NoSpecialize = true } }
+
+// NoArena disables arena pooling of activation arrays, allocating fresh
+// zeroed storage for every run (the pre-pooling behaviour). Strict runs
+// imply it.
+func NoArena() RunOption { return func(o *interp.Options) { o.NoArena = true } }
+
 // Grain sets the minimum iterations per parallel chunk; under the
 // doacross wavefront schedule it also sets the tile width on the
 // blocked plane coordinate.

@@ -117,6 +117,13 @@ func (r *Runner) Explain() string {
 			fmt.Fprintf(&sb, "wavefront grain: %d points/plane default (calibrated from measured kernel cost at first run)\n", grain)
 		}
 	}
+	for _, ks := range r.prog.ip.Kernels(r.mod.sem.Name, planOpts) {
+		if ks.Specialized {
+			fmt.Fprintf(&sb, "kernel %s (%s): specialized\n", ks.Eq, ks.Target)
+		} else {
+			fmt.Fprintf(&sb, "kernel %s (%s): generic (%s)\n", ks.Eq, ks.Target, ks.Reason)
+		}
+	}
 	sb.WriteString(pl.String())
 	return sb.String()
 }
@@ -143,14 +150,16 @@ func (r *Runner) Run(ctx context.Context, args []any) ([]any, *RunStats, error) 
 	start := time.Now()
 	results, err := r.prog.ip.RunCtx(ctx, r.mod.Name(), args, o)
 	stats := &RunStats{
-		EquationInstances: st.EqInstances.Load(),
-		DOALLChunks:       st.Chunks.Load(),
-		WavefrontPlanes:   st.Planes.Load(),
-		DoacrossTiles:     st.Doacross.Tiles.Load(),
-		DoacrossStalls:    st.Doacross.Stalls.Load(),
-		DoacrossSteals:    st.Doacross.Steals.Load(),
-		Workers:           effectiveWorkers(o),
-		WallTime:          time.Since(start),
+		EquationInstances:  st.EqInstances.Load(),
+		DOALLChunks:        st.Chunks.Load(),
+		WavefrontPlanes:    st.Planes.Load(),
+		DoacrossTiles:      st.Doacross.Tiles.Load(),
+		DoacrossStalls:     st.Doacross.Stalls.Load(),
+		DoacrossSteals:     st.Doacross.Steals.Load(),
+		SpecializedKernels: st.Specialized.Load(),
+		ArenaReuses:        st.ArenaReuses.Load(),
+		Workers:            effectiveWorkers(o),
+		WallTime:           time.Since(start),
 	}
 	if err != nil {
 		return nil, stats, runError(r.mod.Name(), err)
@@ -200,14 +209,16 @@ func (r *Runner) RunBatch(ctx context.Context, batch []Args) ([]BatchResult, *Ru
 	start := time.Now()
 	results, errs, err := r.prog.ip.RunBatchCtx(ctx, r.mod.Name(), batch, o)
 	stats := &RunStats{
-		EquationInstances: st.EqInstances.Load(),
-		DOALLChunks:       st.Chunks.Load(),
-		WavefrontPlanes:   st.Planes.Load(),
-		DoacrossTiles:     st.Doacross.Tiles.Load(),
-		DoacrossStalls:    st.Doacross.Stalls.Load(),
-		DoacrossSteals:    st.Doacross.Steals.Load(),
-		Workers:           effectiveWorkers(o),
-		WallTime:          time.Since(start),
+		EquationInstances:  st.EqInstances.Load(),
+		DOALLChunks:        st.Chunks.Load(),
+		WavefrontPlanes:    st.Planes.Load(),
+		DoacrossTiles:      st.Doacross.Tiles.Load(),
+		DoacrossStalls:     st.Doacross.Stalls.Load(),
+		DoacrossSteals:     st.Doacross.Steals.Load(),
+		SpecializedKernels: st.Specialized.Load(),
+		ArenaReuses:        st.ArenaReuses.Load(),
+		Workers:            effectiveWorkers(o),
+		WallTime:           time.Since(start),
 	}
 	if err != nil {
 		return nil, stats, runError(r.mod.Name(), err)

@@ -37,6 +37,16 @@ type RunStats struct {
 	// than the tile's home worker: how often work stealing rebalanced
 	// the pipeline.
 	DoacrossSteals int64
+	// SpecializedKernels is the number of equation instances executed
+	// by a specialized (strength-reduced, bounds-certified) kernel
+	// rather than the generic checked evaluator. At most
+	// EquationInstances; zero under Strict or NoSpecialize.
+	SpecializedKernels int64
+	// ArenaReuses is the number of activation arrays whose backing
+	// store was recycled from the arena instead of freshly allocated.
+	// Zero on a first run (nothing pooled yet), under Strict, or with
+	// NoArena.
+	ArenaReuses int64
 	// Workers is the worker count the run was configured with (1 for
 	// sequential runs).
 	Workers int
@@ -46,7 +56,7 @@ type RunStats struct {
 
 // String renders the stats on one line.
 func (s *RunStats) String() string {
-	return fmt.Sprintf("eq_instances=%d doall_chunks=%d wavefront_planes=%d doacross_tiles=%d doacross_stalls=%d doacross_steals=%d workers=%d wall=%s",
-		s.EquationInstances, s.DOALLChunks, s.WavefrontPlanes,
-		s.DoacrossTiles, s.DoacrossStalls, s.DoacrossSteals, s.Workers, s.WallTime)
+	return fmt.Sprintf("eq_instances=%d specialized=%d doall_chunks=%d wavefront_planes=%d doacross_tiles=%d doacross_stalls=%d doacross_steals=%d arena_reuses=%d workers=%d wall=%s",
+		s.EquationInstances, s.SpecializedKernels, s.DOALLChunks, s.WavefrontPlanes,
+		s.DoacrossTiles, s.DoacrossStalls, s.DoacrossSteals, s.ArenaReuses, s.Workers, s.WallTime)
 }

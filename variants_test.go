@@ -60,6 +60,16 @@ func gridRange(lo, hi int64) *ps.Array {
 	return a
 }
 
+// intVector builds a 1-D int array over [lo,hi] with small repeating
+// values, so sequence comparisons hit both matches and mismatches.
+func intVector(lo, hi int64) *ps.Array {
+	a := ps.NewIntArray(ps.Axis{Lo: lo, Hi: hi})
+	for i := lo; i <= hi; i++ {
+		a.SetI([]int64{i}, (i*5+3)%4)
+	}
+	return a
+}
+
 func mustRead(t *testing.T, path string) string {
 	t.Helper()
 	b, err := os.ReadFile(path)
@@ -106,6 +116,8 @@ func variantPrograms(t *testing.T) []variantProgram {
 			[]any{gridRange(1, 8), int64(8)}},
 		{"psrc/CoupledGrid", psrc.CoupledGrid, "CoupledGrid",
 			[]any{grid2D(7), int64(7), int64(3)}},
+		{"testdata/smith_waterman", mustRead(t, "testdata/smith_waterman.ps"), "SmithWaterman",
+			[]any{intVector(0, 9), intVector(0, 12), int64(9), int64(12)}},
 	}
 }
 
@@ -208,6 +220,7 @@ func TestAutoHyperplaneEligibility(t *testing.T) {
 		{"testdata/coupled", mustRead(t, "testdata/coupled.ps"), "Coupled", true, "pi=(2,1)"},
 		{"psrc/CoupledGrid", psrc.CoupledGrid, "CoupledGrid", true, "pi=(1,1)"},
 		{"testdata/fuse_pair", mustRead(t, "testdata/fuse_pair.ps"), "FusePair", true, "pi=(1,1)"}, // two singleton wavefronts unfused
+		{"testdata/smith_waterman", mustRead(t, "testdata/smith_waterman.ps"), "SmithWaterman", true, "pi=(1,1)"},
 		// Negative cases: the DO loops must survive untransformed.
 		{"psrc/Prefix", psrc.Prefix, "Prefix", false, ""},                              // 1-D recurrence: no plane to parallelize
 		{"testdata/mutual", mustRead(t, "testdata/mutual.ps"), "Mutual", false, ""},    // component split by the scheduler: two-loop body
