@@ -1,0 +1,106 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// compareOptions tunes the regression gate. The zero value gates on any
+// slowdown with no noise handling; main wires the flag defaults.
+type compareOptions struct {
+	// Threshold is the relative ns/op slowdown that fails the gate
+	// (0.10 = +10%).
+	Threshold float64
+	// NoiseFloor exempts benchmarks whose ns/op is tiny on both sides:
+	// a sub-floor measurement is dominated by dispatch jitter and a
+	// large ratio between two such numbers carries no signal.
+	NoiseFloor time.Duration
+	// MinRuns exempts results measured with fewer benchmark iterations
+	// than this on either side — the benchtime was too short for the
+	// iteration count to average the noise out.
+	MinRuns int
+}
+
+// compareVerdict classifies one benchmark's old-vs-new comparison.
+type compareVerdict string
+
+const (
+	verdictOK         compareVerdict = "ok"
+	verdictRegressed  compareVerdict = "regressed"
+	verdictNoiseFloor compareVerdict = "noise-floor" // both sides under NoiseFloor
+	verdictFewRuns    compareVerdict = "few-runs"    // either side under MinRuns iterations
+)
+
+// compareLine is one benchmark's comparison outcome.
+type compareLine struct {
+	Name     string
+	Old, New int64 // ns/op
+	Verdict  compareVerdict
+}
+
+// ratio is the relative change, 1.0 = unchanged.
+func (l compareLine) ratio() float64 { return float64(l.New) / float64(l.Old) }
+
+// compareFiles checks cur against old benchmark by benchmark and
+// returns a line per benchmark present in both, plus the names that
+// fail the gate. Benchmarks appearing in only one file (renamed or
+// newly added variants) are ignored, so the gate survives corpus
+// growth. Noise-floor and few-runs exemptions are reported but never
+// regress: a flaky sub-millisecond variant cannot fail CI on jitter.
+func compareFiles(old, cur *benchFile, o compareOptions) (lines []compareLine, regressed []string) {
+	base := make(map[string]benchResult, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		base[b.Name] = b
+	}
+	for _, b := range cur.Benchmarks {
+		was, ok := base[b.Name]
+		if !ok || was.NsPerOp <= 0 {
+			continue
+		}
+		l := compareLine{Name: b.Name, Old: was.NsPerOp, New: b.NsPerOp, Verdict: verdictOK}
+		switch {
+		case was.NsPerOp < int64(o.NoiseFloor) && b.NsPerOp < int64(o.NoiseFloor):
+			l.Verdict = verdictNoiseFloor
+		case was.Runs < o.MinRuns || b.Runs < o.MinRuns:
+			l.Verdict = verdictFewRuns
+		case l.ratio() > 1+o.Threshold:
+			l.Verdict = verdictRegressed
+			regressed = append(regressed, b.Name)
+		}
+		lines = append(lines, l)
+	}
+	return lines, regressed
+}
+
+// printCompare renders the comparison in the psbench stderr format.
+func printCompare(w io.Writer, lines []compareLine) {
+	for _, l := range lines {
+		mark := " "
+		switch l.Verdict {
+		case verdictRegressed:
+			mark = "!"
+		case verdictNoiseFloor, verdictFewRuns:
+			mark = "~"
+		}
+		fmt.Fprintf(w, "psbench: compare %s %-32s %12d -> %12d ns/op (%+.1f%%) [%s]\n",
+			mark, l.Name, l.Old, l.New, (l.ratio()-1)*100, l.Verdict)
+	}
+}
+
+// compareAgainst checks the fresh results against a previous psbench
+// output and errors when any benchmark fails the gate.
+func compareAgainst(path string, doc *benchFile, o compareOptions) error {
+	old, err := readBenchFile(path)
+	if err != nil {
+		return err
+	}
+	lines, regressed := compareFiles(old, doc, o)
+	printCompare(os.Stderr, lines)
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed >%.0f%% vs %s: %v",
+			len(regressed), o.Threshold*100, path, regressed)
+	}
+	return nil
+}

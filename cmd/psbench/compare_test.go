@@ -1,0 +1,127 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// gate is the flag-default configuration CI runs with.
+var gate = compareOptions{Threshold: 0.10, NoiseFloor: 100 * time.Microsecond, MinRuns: 5}
+
+func bf(results ...benchResult) *benchFile { return &benchFile{Benchmarks: results} }
+
+// TestCompareRegression pins the basic gate: a slowdown past the
+// threshold regresses, one inside it does not, and speedups pass.
+func TestCompareRegression(t *testing.T) {
+	old := bf(
+		benchResult{Name: "a/Seq", NsPerOp: 1_000_000, Runs: 100},
+		benchResult{Name: "a/Par4", NsPerOp: 1_000_000, Runs: 100},
+		benchResult{Name: "a/Doacross", NsPerOp: 1_000_000, Runs: 100},
+	)
+	cur := bf(
+		benchResult{Name: "a/Seq", NsPerOp: 1_200_000, Runs: 100},    // +20%: regressed
+		benchResult{Name: "a/Par4", NsPerOp: 1_050_000, Runs: 100},   // +5%: inside threshold
+		benchResult{Name: "a/Doacross", NsPerOp: 600_000, Runs: 100}, // -40%: improvement
+	)
+	lines, regressed := compareFiles(old, cur, gate)
+	if !reflect.DeepEqual(regressed, []string{"a/Seq"}) {
+		t.Fatalf("regressed = %v, want [a/Seq]", regressed)
+	}
+	verdicts := map[string]compareVerdict{}
+	for _, l := range lines {
+		verdicts[l.Name] = l.Verdict
+	}
+	want := map[string]compareVerdict{
+		"a/Seq": verdictRegressed, "a/Par4": verdictOK, "a/Doacross": verdictOK,
+	}
+	if !reflect.DeepEqual(verdicts, want) {
+		t.Fatalf("verdicts = %v, want %v", verdicts, want)
+	}
+}
+
+// TestCompareNoiseFloor pins the flakiness fix: a 3x blowup between two
+// sub-floor timings is jitter and must not fail the gate, but the same
+// ratio above the floor must.
+func TestCompareNoiseFloor(t *testing.T) {
+	old := bf(
+		benchResult{Name: "tiny", NsPerOp: 20_000, Runs: 100}, // 20µs
+		benchResult{Name: "big", NsPerOp: 20_000_000, Runs: 100},
+	)
+	cur := bf(
+		benchResult{Name: "tiny", NsPerOp: 60_000, Runs: 100}, // 3x, still under 100µs
+		benchResult{Name: "big", NsPerOp: 60_000_000, Runs: 100},
+	)
+	lines, regressed := compareFiles(old, cur, gate)
+	if !reflect.DeepEqual(regressed, []string{"big"}) {
+		t.Fatalf("regressed = %v, want [big]", regressed)
+	}
+	for _, l := range lines {
+		if l.Name == "tiny" && l.Verdict != verdictNoiseFloor {
+			t.Errorf("tiny verdict = %s, want %s", l.Verdict, verdictNoiseFloor)
+		}
+	}
+	// A measurement that grew past the floor is gated: only both-sides-
+	// small pairs are exempt.
+	cur2 := bf(benchResult{Name: "tiny", NsPerOp: 200_000, Runs: 100})
+	if _, regressed := compareFiles(old, cur2, gate); len(regressed) != 1 {
+		t.Fatalf("crossing the floor did not gate: %v", regressed)
+	}
+}
+
+// TestCompareMinRuns pins the iteration-count guard: a benchmark that
+// only managed a handful of iterations on either side is too noisy to
+// gate on.
+func TestCompareMinRuns(t *testing.T) {
+	old := bf(benchResult{Name: "slow", NsPerOp: 1_000_000_000, Runs: 2})
+	cur := bf(benchResult{Name: "slow", NsPerOp: 2_000_000_000, Runs: 100})
+	lines, regressed := compareFiles(old, cur, gate)
+	if len(regressed) != 0 {
+		t.Fatalf("few-runs baseline gated: %v", regressed)
+	}
+	if len(lines) != 1 || lines[0].Verdict != verdictFewRuns {
+		t.Fatalf("lines = %+v, want one few-runs verdict", lines)
+	}
+	// Flip the sparse side: the guard is symmetric.
+	if lines, _ := compareFiles(cur, old, gate); len(lines) != 1 || lines[0].Verdict != verdictFewRuns {
+		t.Fatalf("reversed lines = %+v, want one few-runs verdict", lines)
+	}
+}
+
+// TestCompareDisjointCorpus pins corpus-growth tolerance: benchmarks
+// present in only one file never appear in the report.
+func TestCompareDisjointCorpus(t *testing.T) {
+	old := bf(
+		benchResult{Name: "removed", NsPerOp: 1_000_000, Runs: 100},
+		benchResult{Name: "kept", NsPerOp: 1_000_000, Runs: 100},
+	)
+	cur := bf(
+		benchResult{Name: "kept", NsPerOp: 1_000_000, Runs: 100},
+		benchResult{Name: "added", NsPerOp: 9_000_000, Runs: 100},
+	)
+	lines, regressed := compareFiles(old, cur, gate)
+	if len(regressed) != 0 {
+		t.Fatalf("disjoint names gated: %v", regressed)
+	}
+	if len(lines) != 1 || lines[0].Name != "kept" {
+		t.Fatalf("lines = %+v, want only the shared benchmark", lines)
+	}
+}
+
+// TestPrintCompare smoke-checks the rendering marks: "!" flags a
+// regression, "~" flags an exemption.
+func TestPrintCompare(t *testing.T) {
+	var sb strings.Builder
+	printCompare(&sb, []compareLine{
+		{Name: "x", Old: 100_000_000, New: 200_000_000, Verdict: verdictRegressed},
+		{Name: "y", Old: 10_000, New: 30_000, Verdict: verdictNoiseFloor},
+		{Name: "z", Old: 100_000_000, New: 100_000_000, Verdict: verdictOK},
+	})
+	out := sb.String()
+	for _, want := range []string{"! x", "~ y", "[regressed]", "[noise-floor]", "[ok]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	psrun [-module name] [-workers N] [-seq] [-strict] [-grain N]
-//	      [-fused] [-hyperplane auto|off] [-schedule auto|barrier|doacross]
+//	      [-fused] [-hyperplane auto|off]
+//	      [-schedule auto|barrier|doacross|pipeline]
 //	      [-timeout d] [-stats] [-explain] [-in inputs.json]
 //	      [-cpuprofile f] [-memprofile f] file.ps
 //
@@ -49,7 +50,7 @@ func main() {
 	grain := flag.Int64("grain", 0, "minimum iterations per parallel chunk")
 	fused := flag.Bool("fused", false, "execute the loop-fused plan variant (§5)")
 	hyper := flag.String("hyperplane", "auto", "automatic §4 wavefront restructuring of eligible sequential nests: auto or off")
-	schedule := flag.String("schedule", "auto", "wavefront execution strategy: auto, barrier (per-plane fork/join) or doacross (pipelined tiles)")
+	schedule := flag.String("schedule", "auto", "scheduling strategy: auto, barrier (per-plane fork/join), doacross (pipelined tiles) or pipeline (prefer PS-DSWP decoupled stages over wavefronts)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	stats := flag.Bool("stats", false, "print run statistics to stderr")
 	explain := flag.Bool("explain", false, "print the lowered loop plan and exit without running")

@@ -1,0 +1,85 @@
+package interp
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWavefrontCalibrationDiscardsWarmup pins the steady-state
+// calibration contract: the first plane timing (arena warm-up,
+// specialization misses) is discarded, the cost publishes as the
+// median of the remaining samples, and once published it is immutable.
+// Before the fix the first plane's timing alone set the cost, so a
+// cold-start outlier could permanently flip the auto barrier/doacross
+// policy for the plan.
+func TestWavefrontCalibrationDiscardsWarmup(t *testing.T) {
+	var cp compiledPlan
+	// A grossly inflated warm-up plane followed by steady samples: the
+	// published cost must reflect the steady state, not the outlier.
+	cp.noteWavefrontCost(1, 100_000*time.Nanosecond) // warm-up: 100000 ns/pt
+	if cp.wfCost.Load() != 0 {
+		t.Fatalf("cost published after %d samples, want %d before publishing", 1, wfCalibrateSamples)
+	}
+	cp.noteWavefrontCost(1, 90*time.Nanosecond)
+	cp.noteWavefrontCost(1, 110*time.Nanosecond)
+	if cp.wfCost.Load() != 0 {
+		t.Fatalf("cost published early: %d", cp.wfCost.Load())
+	}
+	cp.noteWavefrontCost(1, 100*time.Nanosecond)
+	if got := cp.wfCost.Load(); got != 100 {
+		t.Fatalf("calibrated cost = %d ns/pt, want the steady-state median 100", got)
+	}
+	// Immutable once published: later timings cannot flip the policy.
+	cp.noteWavefrontCost(1, time.Millisecond)
+	if got := cp.wfCost.Load(); got != 100 {
+		t.Fatalf("published cost changed to %d", got)
+	}
+}
+
+// TestWavefrontCalibrationStability pins the auto-policy stability
+// property end to end: whatever order steady samples arrive in after
+// the warm-up, the derived grain is identical — so the automatic
+// barrier/doacross choice does not wobble between hosts or runs with
+// reordered planes.
+func TestWavefrontCalibrationStability(t *testing.T) {
+	steady := [][]int64{
+		{200, 400, 300},
+		{400, 300, 200},
+		{300, 200, 400},
+	}
+	var want int64
+	for i, order := range steady {
+		var cp compiledPlan
+		cp.noteWavefrontCost(1, 5*time.Millisecond) // warm-up outlier
+		for _, ns := range order {
+			cp.noteWavefrontCost(1, time.Duration(ns)*time.Nanosecond)
+		}
+		if cp.wfCost.Load() == 0 {
+			t.Fatal("cost not published after full sample set")
+		}
+		g := cp.wavefrontGrain()
+		if i == 0 {
+			want = g
+			continue
+		}
+		if g != want {
+			t.Fatalf("grain %d for sample order %v, want %d (order-independent)", g, order, want)
+		}
+	}
+}
+
+// TestWavefrontGrainBounds pins the clamping of the calibrated grain.
+func TestWavefrontGrainBounds(t *testing.T) {
+	var cp compiledPlan
+	if g := cp.wavefrontGrain(); g != defaultInlinePlane {
+		t.Fatalf("uncalibrated grain = %d, want default %d", g, defaultInlinePlane)
+	}
+	cp.wfCost.Store(1) // absurdly cheap kernel: clamp high
+	if g := cp.wavefrontGrain(); g != 4096 {
+		t.Fatalf("grain = %d, want upper clamp 4096", g)
+	}
+	cp.wfCost.Store(1 << 40) // absurdly expensive kernel: clamp low
+	if g := cp.wavefrontGrain(); g != 8 {
+		t.Fatalf("grain = %d, want lower clamp 8", g)
+	}
+}

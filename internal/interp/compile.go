@@ -3,6 +3,7 @@ package interp
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -34,12 +35,14 @@ type kernelFn func(en *env, fr []int64)
 type compiledModule struct {
 	m     *sem.Module
 	sched *core.Schedule
-	// plans holds the lowered variants indexed [fuse][hyperplane]
-	// (Options select one at activation time; all are lowered once here,
-	// not per run). Variants that lower identically — a module with no
-	// §4-eligible nest has equal base and auto-hyperplane plans — share
-	// one compiledPlan.
-	plans [2][2]*compiledPlan
+	// plans holds the lowered variants indexed [fuse][mode], where mode
+	// is 0 = hyperplane off, 1 = the auto cascade, 2 = the
+	// pipeline-first cascade (WithSchedule(SchedulePipeline)). Options
+	// select one at activation time; all are lowered once here, not per
+	// run. Variants that lower identically — a module with no
+	// cascade-eligible nest has equal base and auto plans — share one
+	// compiledPlan.
+	plans [2][3]*compiledPlan
 	// slotOf assigns every subrange type a frame slot for its index
 	// value — the plan's Bounds order, shared by every variant. It is
 	// consulted at compile time only; execution reads slots baked into
@@ -56,16 +59,25 @@ type compiledModule struct {
 	ws sync.Pool
 }
 
-// variant selects the compiled plan for one (fuse, hyperplane) pair.
-func (cm *compiledModule) variant(fuse, hyper bool) *compiledPlan {
-	fi, hi := 0, 0
+// variant selects the compiled plan for one (fuse, mode) pair.
+func (cm *compiledModule) variant(fuse bool, mode int) *compiledPlan {
+	fi := 0
 	if fuse {
 		fi = 1
 	}
-	if hyper {
-		hi = 1
+	return cm.plans[fi][mode]
+}
+
+// planMode maps plan options onto the variant mode index: 0 =
+// hyperplane off, 1 = the auto cascade, 2 = the pipeline-first cascade.
+func planMode(o plan.Options) int {
+	switch {
+	case !o.Hyperplane:
+		return 0
+	case o.PipelineFirst:
+		return 2
 	}
-	return cm.plans[fi][hi]
+	return 1
 }
 
 // compiledPlan pairs one lowered plan variant with its kernel table
@@ -81,12 +93,24 @@ type compiledPlan struct {
 	// allocs describes the result and local arrays allocated per
 	// activation, with §3.4 windows resolved at compile time.
 	allocs []allocInfo
-	// wfCost is the one-shot measured wavefront kernel cost in ns per
-	// executed point, written once (CAS from 0) by the first activation
-	// that times a plane; it calibrates the inline-plane threshold and
-	// the auto barrier/doacross choice. 0 until calibrated.
+	// wfCost is the measured wavefront kernel cost in ns per executed
+	// point, published once after wfCalibrateSamples plane timings have
+	// accumulated; it calibrates the inline-plane threshold and the
+	// auto barrier/doacross choice. 0 until calibrated.
 	wfCost atomic.Int64
+	// wfMu guards wfSamples, the pre-publication plane timings. The
+	// first sample is always discarded: the first plane a fresh
+	// activation executes pays arena warm-up and specialization-miss
+	// costs that would bias wfCost high and flip the auto
+	// barrier/doacross policy between activations.
+	wfMu      sync.Mutex
+	wfSamples []int64
 }
+
+// wfCalibrateSamples is the number of plane timings collected before
+// wfCost publishes: the warm-up sample plus three steady-state samples
+// whose median becomes the cost.
+const wfCalibrateSamples = 4
 
 // defaultInlinePlane is the uncalibrated inline-plane threshold: planes
 // below it run on the sweeping goroutine instead of the pool.
@@ -115,17 +139,37 @@ func (cp *compiledPlan) wavefrontGrain() int64 {
 	return g
 }
 
-// noteWavefrontCost records the one-shot kernel-cost measurement; the
-// first writer wins, so concurrent activations calibrate once.
+// noteWavefrontCost accumulates one plane timing toward the
+// steady-state calibration. The first sample (arena warm-up,
+// specialization effects) is discarded; once wfCalibrateSamples have
+// arrived, the median of the rest publishes as wfCost and the value is
+// immutable from then on, so the auto barrier/doacross policy is stable
+// across repeated activations.
 func (cp *compiledPlan) noteWavefrontCost(points int64, elapsed time.Duration) {
-	if points <= 0 {
+	if points <= 0 || cp.wfCost.Load() != 0 {
 		return
 	}
 	ns := elapsed.Nanoseconds() / points
 	if ns < 1 {
 		ns = 1
 	}
-	cp.wfCost.CompareAndSwap(0, ns)
+	cp.wfMu.Lock()
+	defer cp.wfMu.Unlock()
+	if cp.wfCost.Load() != 0 {
+		return
+	}
+	cp.wfSamples = append(cp.wfSamples, ns)
+	if len(cp.wfSamples) < wfCalibrateSamples {
+		return
+	}
+	steady := append([]int64(nil), cp.wfSamples[1:]...)
+	sort.Slice(steady, func(i, j int) bool { return steady[i] < steady[j] })
+	med := steady[len(steady)/2]
+	if med < 1 {
+		med = 1
+	}
+	cp.wfSamples = nil
+	cp.wfCost.Store(med)
 }
 
 // WavefrontGrain reports the inline-plane threshold the named module's
@@ -141,7 +185,7 @@ func (p *Program) WavefrontGrain(name string, opts plan.Options) (grain, nsPerPo
 	if cm == nil {
 		return defaultInlinePlane, 0
 	}
-	cp := cm.variant(opts.Fuse, opts.Hyperplane)
+	cp := cm.variant(opts.Fuse, planMode(opts))
 	return cp.wavefrontGrain(), cp.wfCost.Load()
 }
 
@@ -197,6 +241,8 @@ func (p *Program) compileModule(m *sem.Module, sched *core.Schedule) (cm *compil
 	fusedPl := plan.Lower(m, sched, plan.Options{Fuse: true})
 	hyperPl := plan.Lower(m, sched, plan.Options{Hyperplane: true})
 	hyperFusedPl := plan.Lower(m, sched, plan.Options{Fuse: true, Hyperplane: true})
+	pipePl := plan.Lower(m, sched, plan.Options{Hyperplane: true, PipelineFirst: true})
+	pipeFusedPl := plan.Lower(m, sched, plan.Options{Fuse: true, Hyperplane: true, PipelineFirst: true})
 	cm = &compiledModule{
 		m:      m,
 		sched:  sched,
@@ -230,17 +276,29 @@ func (p *Program) compileModule(m *sem.Module, sched *core.Schedule) (cm *compil
 	}
 	cm.plans[0][0] = cm.bindPlan(basePl, kernels, specs)
 	cm.plans[1][0] = cm.bindPlan(fusedPl, kernels, specs)
-	// A module with no §4-eligible nest lowers identically with
-	// hyperplane on; share the untransformed compiledPlan then.
-	if hyperPl.HasWavefront() {
+	// A module where no cascade backend fires lowers identically with
+	// the cascade on; share the untransformed compiledPlan then. The
+	// pipeline-first mode likewise shares the auto plan unless flipping
+	// the cascade order actually changed the lowering.
+	if hyperPl.HasWavefront() || hyperPl.HasPipeline() {
 		cm.plans[0][1] = cm.bindPlan(hyperPl, kernels, specs)
 	} else {
 		cm.plans[0][1] = cm.plans[0][0]
 	}
-	if hyperFusedPl.HasWavefront() {
+	if hyperFusedPl.HasWavefront() || hyperFusedPl.HasPipeline() {
 		cm.plans[1][1] = cm.bindPlan(hyperFusedPl, kernels, specs)
 	} else {
 		cm.plans[1][1] = cm.plans[1][0]
+	}
+	if pipePl.String() == hyperPl.String() {
+		cm.plans[0][2] = cm.plans[0][1]
+	} else {
+		cm.plans[0][2] = cm.bindPlan(pipePl, kernels, specs)
+	}
+	if pipeFusedPl.String() == hyperFusedPl.String() {
+		cm.plans[1][2] = cm.plans[1][1]
+	} else {
+		cm.plans[1][2] = cm.bindPlan(pipeFusedPl, kernels, specs)
 	}
 	return cm, nil
 }

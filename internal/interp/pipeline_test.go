@@ -1,0 +1,149 @@
+package interp_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/plan"
+	"repro/internal/psrc"
+	"repro/internal/sched"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// seed builds an n×n input over [1,n]².
+func seed(n int64) *value.Array {
+	a := value.NewArray(types.RealKind, []value.Axis{{Lo: 1, Hi: n}, {Lo: 1, Hi: n}})
+	for i := int64(1); i <= n; i++ {
+		for j := int64(1); j <= n; j++ {
+			a.SetF([]int64{i, j}, float64((i*7+j*3)%11)/10)
+		}
+	}
+	return a
+}
+
+// TestPipelineParity runs the pipeline-lowered reflect workload across
+// worker counts and toggles, comparing every run bitwise against the
+// sequential reference and checking that the decoupled backend actually
+// engaged (stages launched, same instance count).
+func TestPipelineParity(t *testing.T) {
+	ip := compileSrc(t, psrc.Reflect)
+	pl := ip.Plan("Reflect", plan.Options{Hyperplane: true})
+	if !pl.HasPipeline() {
+		t.Fatalf("Reflect did not lower to a pipeline plan:\n%s", pl)
+	}
+	const n = 17
+	args := []any{seed(n), int64(n)}
+	var seqStats interp.Stats
+	ref, err := ip.Run("Reflect", args, interp.Options{Sequential: true, Stats: &seqStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name    string
+		opts    interp.Options
+		coupled bool // expects the concurrent pipeline to engage
+	}{
+		{"Par2", interp.Options{Workers: 2}, true},
+		{"Par4", interp.Options{Workers: 4}, true},
+		{"Par8", interp.Options{Workers: 8}, true},
+		{"StrictPar2", interp.Options{Workers: 2, Strict: true}, true},
+		{"PipelineFirstPar4", interp.Options{Workers: 4, Schedule: sched.PolicyPipeline}, true},
+		// One worker degenerates to the stage-ordered loop.
+		{"Par1", interp.Options{Workers: 1}, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var stats interp.Stats
+			tc.opts.Stats = &stats
+			got, err := ip.Run("Reflect", args, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range ref {
+				if !reflect.DeepEqual(got[i].(*value.Array).F, ref[i].(*value.Array).F) {
+					t.Errorf("result %d diverges from sequential reference", i)
+				}
+			}
+			if got, want := stats.EqInstances.Load(), seqStats.EqInstances.Load(); got != want {
+				t.Errorf("executed %d equation instances, sequential executed %d", got, want)
+			}
+			if engaged := stats.PipelineStages.Load() > 0; engaged != tc.coupled {
+				t.Errorf("pipeline stages = %d, want engaged=%v", stats.PipelineStages.Load(), tc.coupled)
+			}
+			if tc.coupled && stats.PipelineStages.Load() != 3 {
+				t.Errorf("pipeline stages = %d, want 3 (1 producer + 2 consumers)", stats.PipelineStages.Load())
+			}
+		})
+	}
+}
+
+// TestPipelineFirstCascade pins the schedule-driven plan flip: mutual
+// wavefronts under the auto cascade but decouples under PolicyPipeline,
+// and both execute bitwise identically.
+func TestPipelineFirstCascade(t *testing.T) {
+	ip := compileSrc(t, psrc.Mutual)
+	auto := ip.Plan("Mutual", plan.Options{Hyperplane: true})
+	if !auto.HasWavefront() || auto.HasPipeline() {
+		t.Fatalf("auto cascade did not wavefront the re-merged nest:\n%s", auto)
+	}
+	pf := ip.Plan("Mutual", plan.Options{Hyperplane: true, PipelineFirst: true})
+	if !pf.HasPipeline() || pf.HasWavefront() {
+		t.Fatalf("pipeline-first cascade did not decouple the nest:\n%s", pf)
+	}
+	// Mutual's arrays span [0, N+1]; build a matching seed.
+	const n = 11
+	s := value.NewArray(types.RealKind, []value.Axis{{Lo: 0, Hi: n}, {Lo: 0, Hi: n}})
+	for i := int64(0); i <= n; i++ {
+		for j := int64(0); j <= n; j++ {
+			s.SetF([]int64{i, j}, float64((i*5+j*2)%13)/10)
+		}
+	}
+	args := []any{s, int64(n - 1)}
+	ref, err := ip.Run("Mutual", args, interp.Options{Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		opts interp.Options
+	}{
+		{"AutoPar4", interp.Options{Workers: 4}},
+		{"PipelinePar2", interp.Options{Workers: 2, Schedule: sched.PolicyPipeline}},
+		{"PipelinePar4", interp.Options{Workers: 4, Schedule: sched.PolicyPipeline}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var stats interp.Stats
+			tc.opts.Stats = &stats
+			got, err := ip.Run("Mutual", args, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range ref {
+				if !reflect.DeepEqual(got[i].(*value.Array).F, ref[i].(*value.Array).F) {
+					t.Errorf("result %d diverges from sequential reference", i)
+				}
+			}
+			if tc.opts.Schedule == sched.PolicyPipeline && stats.PipelineStages.Load() == 0 {
+				t.Error("pipeline-first run launched no stages")
+			}
+			if tc.opts.Schedule != sched.PolicyPipeline && stats.PipelineStages.Load() != 0 {
+				t.Error("auto run launched pipeline stages for a wavefront plan")
+			}
+		})
+	}
+}
+
+// TestPipelineCancellation checks a context cancelled mid-run aborts
+// the decoupled pipeline and reports the context error.
+func TestPipelineCancellation(t *testing.T) {
+	ip := compileSrc(t, psrc.Reflect)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already done: the run must refuse immediately
+	_, err := ip.RunCtx(ctx, "Reflect", []any{seed(64), int64(64)}, interp.Options{Workers: 4})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -2,6 +2,7 @@ package interp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/depgraph"
 	"repro/internal/par"
+	"repro/internal/pipe"
 	"repro/internal/plan"
 	"repro/internal/sched"
 	"repro/internal/sem"
@@ -87,6 +89,20 @@ func (o *Options) EffectiveHyperplane() bool {
 	return o.Hyperplane == HyperplaneAuto && !o.Sequential
 }
 
+// planMode selects the compiled plan variant column for these options:
+// 0 (restructuring off), 1 (auto cascade) or 2 (pipeline-first cascade,
+// the PolicyPipeline schedule). Sequential runs always take column 0 —
+// the untransformed nests double as the parity reference.
+func (o *Options) planMode() int {
+	if !o.EffectiveHyperplane() {
+		return 0
+	}
+	if o.Schedule == sched.PolicyPipeline {
+		return 2
+	}
+	return 1
+}
+
 // Stats accumulates per-run execution counters. The counters are updated
 // atomically, so one Stats value may observe a run whose DOALLs execute
 // on many workers; nested module calls accumulate into the same Stats.
@@ -105,6 +121,16 @@ type Stats struct {
 	// tile instances, stalls (parked waits on predecessor tiles) and
 	// steals. All zero when every wavefront ran the barrier schedule.
 	Doacross sched.Stats
+	// PipelineStages counts stages launched by PS-DSWP pipeline steps —
+	// one per stage per decoupled pipeline activation — so pipelined
+	// execution stays distinguishable from DOALL chunking and wavefront
+	// planes. Zero when every pipeline step ran stage-ordered
+	// (sequentially).
+	PipelineStages atomic.Int64
+	// PipelineStalls accumulates the pipeline runtime's blocking waits:
+	// a stage starved on an empty input channel or backpressured on a
+	// full output channel (internal/pipe).
+	PipelineStalls atomic.Int64
 	// Specialized counts equation instances executed through the
 	// branch-free specialized kernel path (a subset of EqInstances);
 	// the remainder ran the checked closure tree.
@@ -210,7 +236,7 @@ func (p *Program) Plan(name string, opts plan.Options) *plan.Program {
 	if cm == nil {
 		return nil
 	}
-	return cm.variant(opts.Fuse, opts.Hyperplane).pl
+	return cm.variant(opts.Fuse, planMode(opts)).pl
 }
 
 // runState is the execution context shared by a root activation and
@@ -400,7 +426,7 @@ func (p *Program) runModule(rs *runState, cm *compiledModule, args []any, inPara
 	opts := rs.opts
 	en = &env{
 		cm:         cm,
-		cp:         cm.variant(opts.Fuse, opts.EffectiveHyperplane()),
+		cp:         cm.variant(opts.Fuse, opts.planMode()),
 		scalars:    make([]any, len(cm.syms)),
 		arrays:     make([]*value.Array, len(cm.syms)),
 		rs:         rs,
@@ -571,6 +597,9 @@ func (p *Program) execSteps(en *env, fr []int64, lo, hi int) {
 		case plan.OpWavefront:
 			p.execWavefront(en, fr, st, i+1)
 			i = st.End
+		case plan.OpPipeline:
+			p.execPipeline(en, fr, st)
+			i = st.End
 		default: // plan.OpDoAll
 			p.execDoAll(en, fr, st, i+1)
 			i = st.End
@@ -734,6 +763,124 @@ func (p *Program) execDoAll(en *env, fr []int64, st *plan.Step, bodyLo int) {
 	}
 	if !completed {
 		panic(runtimeError{err: rs.ctx.Err()})
+	}
+}
+
+// errPipelineAbort is the sentinel a pipeline stage body returns after
+// recording a panic; only the recorded panic is reported.
+var errPipelineAbort = errors.New("interp: pipeline stage failed")
+
+// execPipeline runs one PS-DSWP decoupled step: the streamed
+// dimension's iterations are tokens flowing through the stage DAG of
+// st.Pipe over bounded channels (internal/pipe). The sequential
+// producer stage processes every token in ascending order on one
+// goroutine; parallel consumer stages replicate across the worker
+// count. Stage bodies execute the same kernels at the same frames as
+// the untransformed plan — a stage runs token t only after every
+// upstream stage finished it, which satisfies all cross-stage reads —
+// so results are bitwise identical to the sequential reference.
+// Sequential activations (and nested-parallel ones) degenerate to
+// running the stages in order, which is exactly the original loop
+// sequence the stages were carved from.
+func (p *Program) execPipeline(en *env, fr []int64, st *plan.Step) {
+	rs := en.rs
+	pi := st.Pipe
+	slot := pi.Stream
+	b := en.bounds[slot]
+	tokens := b[1] - b[0] + 1
+	if tokens <= 0 {
+		return
+	}
+	if rs.pool == nil || en.inParallel || rs.pool.Workers() == 1 || tokens == 1 {
+		canceled := rs.canceled
+		for k := range pi.Stages {
+			sg := &pi.Stages[k]
+			for v := b[0]; v <= b[1]; v++ {
+				if canceled != nil && canceled.Load() {
+					panic(runtimeError{err: rs.ctx.Err()})
+				}
+				fr[slot] = v
+				p.execSteps(en, fr, sg.First, sg.End)
+			}
+		}
+		return
+	}
+
+	if rs.stats != nil {
+		rs.stats.PipelineStages.Add(int64(len(pi.Stages)))
+	}
+	stages := make([]pipe.Stage, len(pi.Stages))
+	for k, sg := range pi.Stages {
+		deps := make([]pipe.Dep, len(sg.Deps))
+		for di, d := range sg.Deps {
+			deps[di] = pipe.Dep{Stage: d.Stage, Window: int(d.Dist) + 1}
+		}
+		stages[k] = pipe.Stage{Parallel: sg.Parallel, Deps: deps}
+	}
+
+	// Every body invocation borrows pooled worker state (env + frame)
+	// like a DOALL chunk: one token is a full sweep of the stage's
+	// remaining dimensions, so the pool round-trip amortizes. Panics are
+	// recorded once and re-raised after every stage goroutine stopped.
+	var panicOnce sync.Once
+	var panicked any
+	cm := en.cm
+	var pstats pipe.Stats
+	err := pipe.Run(stages, tokens, rs.pool.Workers(), rs.cancelChan(), func(stage, _ int, token int64) (err error) {
+		ws, _ := cm.ws.Get().(*workerState)
+		if ws == nil {
+			ws = &workerState{}
+		}
+		if cap(ws.fr) < len(fr) {
+			ws.fr = make([]int64, len(fr))
+		}
+		wfr := ws.fr[:len(fr)]
+		copy(wfr, fr)
+		ws.en = *en
+		sub := &ws.en
+		sub.inParallel = true
+		sub.eqCount = 0
+		sub.specCount = 0
+		defer func() {
+			if rs.stats != nil {
+				rs.stats.EqInstances.Add(sub.eqCount)
+				rs.stats.Specialized.Add(sub.specCount)
+			}
+			if r := recover(); r != nil {
+				switch e := r.(type) {
+				case runtimeError:
+					if e.eq == "" {
+						e.eq = sub.eqLabel()
+					}
+					panicOnce.Do(func() { panicked = e })
+				case value.Error:
+					panicOnce.Do(func() { panicked = runtimeError{err: e, eq: sub.eqLabel()} })
+				default:
+					panicOnce.Do(func() { panicked = r })
+				}
+				err = errPipelineAbort
+			}
+			cm.ws.Put(ws)
+		}()
+		sg := &pi.Stages[stage]
+		wfr[slot] = b[0] + token
+		p.execSteps(sub, wfr, sg.First, sg.End)
+		return nil
+	}, &pstats)
+	if rs.stats != nil {
+		rs.stats.PipelineStalls.Add(pstats.Stalls.Load())
+	}
+	if panicked != nil {
+		panic(panicked)
+	}
+	if err != nil {
+		// Only cancellation reaches here: body failures travel through
+		// the recorded panic above.
+		cerr := rs.ctx.Err()
+		if cerr == nil {
+			cerr = err
+		}
+		panic(runtimeError{err: cerr})
 	}
 }
 

@@ -886,7 +886,7 @@ func (p *Program) Kernels(name string, opts plan.Options) []KernelSpec {
 	if cm == nil {
 		return nil
 	}
-	cp := cm.variant(opts.Fuse, opts.Hyperplane)
+	cp := cm.variant(opts.Fuse, planMode(opts))
 	specs := make([]KernelSpec, len(cp.pl.Eqs))
 	for i, eq := range cp.pl.Eqs {
 		names := make([]string, len(eq.Targets))

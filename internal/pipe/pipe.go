@@ -1,0 +1,245 @@
+// Package pipe is the PS-DSWP stage runtime behind plan.OpPipeline
+// steps. A pipeline is a DAG of stages streaming the iterations of one
+// loop dimension ("tokens" 0..Tokens-1) through bounded channels: a
+// sequential stage runs on exactly one goroutine and processes every
+// token in ascending order; a parallel stage is replicated, replica r
+// of R processing tokens t ≡ r (mod R). A stage may start token t only
+// after every upstream stage it depends on has completed token t, so
+// cross-stage reads that reach the same or earlier tokens are always
+// satisfied — the contract the planner's stage partition guarantees.
+//
+// Decoupling is bounded: each dependence edge is a channel whose
+// capacity derives from the dependence's backward token distance
+// (Dep.Window = 1 + distance, the same sizing rule as Hyper.Window), so
+// a fast producer gets at most that much lead before backpressure
+// blocks it. Blocking waits on either side are counted as stalls; the
+// executor surfaces them as RunStats.StageStalls. Cancellation (context
+// or first body error) aborts every blocked send/receive.
+package pipe
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Dep names an upstream stage and the channel capacity its dependence
+// distance implies.
+type Dep struct {
+	Stage int
+	// Window is the bounded-channel capacity: 1 + the largest backward
+	// distance along the streamed dimension. Values below 1 are
+	// clamped to 1.
+	Window int
+}
+
+// Stage describes one pipeline stage.
+type Stage struct {
+	// Parallel stages are replicated across the worker count;
+	// sequential stages get one goroutine.
+	Parallel bool
+	// Deps lists the upstream stages whose token completions gate this
+	// stage's tokens.
+	Deps []Dep
+}
+
+// Stats counts runtime events; fields are updated atomically.
+type Stats struct {
+	// Stalls is the number of blocking waits: a stage starved on an
+	// empty input channel or backpressured on a full output channel.
+	Stalls atomic.Int64
+}
+
+// ErrCanceled is returned by Run when the external cancel channel fired
+// before the pipeline drained.
+var ErrCanceled = errors.New("pipe: pipeline canceled")
+
+// edge is one dependence channel bundle: the producer routes the
+// completion of token t to chs[t mod len(chs)], so consumer replica r
+// receives exactly its own tokens' completions, in order.
+type edge struct {
+	chs []chan struct{}
+}
+
+// Run executes tokens 0..tokens-1 through the stage pipeline, calling
+// body(stage, replica, token) for the actual work. It returns the first
+// body error, ErrCanceled when cancel fires first, or nil. A panicking
+// body aborts the pipeline and the panic is re-raised from Run after
+// every goroutine has stopped.
+func Run(stages []Stage, tokens int64, workers int, cancel <-chan struct{}, body func(stage, replica int, token int64) error, stats *Stats) error {
+	if tokens <= 0 || len(stages) == 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	replicas := make([]int, len(stages))
+	for s := range stages {
+		replicas[s] = 1
+		if stages[s].Parallel {
+			replicas[s] = workers
+		}
+	}
+
+	// Build the dependence channels, grouped by consumer then by
+	// producer, and the per-producer fan-out lists.
+	in := make([][]*edge, len(stages))  // in[s][d] for stages[s].Deps[d]
+	out := make([][]*edge, len(stages)) // edges produced by stage s, consumer order
+	for s := range stages {
+		for _, d := range stages[s].Deps {
+			cap := d.Window
+			if cap < 1 {
+				cap = 1
+			}
+			e := &edge{chs: make([]chan struct{}, replicas[s])}
+			for r := range e.chs {
+				e.chs[r] = make(chan struct{}, cap)
+			}
+			in[s] = append(in[s], e)
+			out[d.Stage] = append(out[d.Stage], e)
+		}
+	}
+
+	abort := make(chan struct{})
+	var failOnce sync.Once
+	var firstErr error
+	var panicked atomic.Value
+	fail := func(err error) {
+		failOnce.Do(func() {
+			firstErr = err
+			close(abort)
+		})
+	}
+	if cancel != nil {
+		drained := make(chan struct{})
+		defer close(drained)
+		go func() {
+			select {
+			case <-cancel:
+				fail(ErrCanceled)
+			case <-drained:
+			}
+		}()
+	}
+
+	stall := func() {
+		if stats != nil {
+			stats.Stalls.Add(1)
+		}
+	}
+	// recv waits for one completion; reports false on abort.
+	recv := func(ch chan struct{}) bool {
+		select {
+		case <-ch:
+			return true
+		default:
+		}
+		stall()
+		select {
+		case <-ch:
+			return true
+		case <-abort:
+			return false
+		}
+	}
+	// send publishes one completion; reports false on abort.
+	send := func(ch chan struct{}) bool {
+		select {
+		case ch <- struct{}{}:
+			return true
+		default:
+		}
+		stall()
+		select {
+		case ch <- struct{}{}:
+			return true
+		case <-abort:
+			return false
+		}
+	}
+	// forward routes the completion of token t to every consumer edge.
+	forward := func(edges []*edge, t int64) bool {
+		for _, e := range edges {
+			if !send(e.chs[int(t%int64(len(e.chs)))]) {
+				return false
+			}
+		}
+		return true
+	}
+
+	var wg sync.WaitGroup
+	for s := range stages {
+		s := s
+		// A replicated stage completes tokens out of order; when later
+		// stages consume it, an emitter goroutine restores token order
+		// before forwarding.
+		var doneCh chan int64
+		if len(out[s]) > 0 && replicas[s] > 1 {
+			doneCh = make(chan int64, replicas[s])
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				pending := make(map[int64]bool)
+				next := int64(0)
+				for next < tokens {
+					var t int64
+					select {
+					case t = <-doneCh:
+					case <-abort:
+						return
+					}
+					pending[t] = true
+					for pending[next] {
+						delete(pending, next)
+						if !forward(out[s], next) {
+							return
+						}
+						next++
+					}
+				}
+			}()
+		}
+		for r := 0; r < replicas[s]; r++ {
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() {
+					if v := recover(); v != nil {
+						panicked.Store(v)
+						fail(errors.New("pipe: stage body panicked"))
+					}
+				}()
+				step := int64(replicas[s])
+				for t := int64(r); t < tokens; t += step {
+					for _, e := range in[s] {
+						if !recv(e.chs[r]) {
+							return
+						}
+					}
+					if err := body(s, r, t); err != nil {
+						fail(err)
+						return
+					}
+					switch {
+					case doneCh != nil:
+						select {
+						case doneCh <- t:
+						case <-abort:
+							return
+						}
+					case len(out[s]) > 0:
+						if !forward(out[s], t) {
+							return
+						}
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	if v := panicked.Load(); v != nil {
+		panic(v)
+	}
+	return firstErr
+}

@@ -1,0 +1,270 @@
+package pipe
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestOrderingContract checks the core guarantee: a stage starts token
+// t only after every upstream stage completed token t, across replica
+// counts and backward distances.
+func TestOrderingContract(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			const tokens = 64
+			var mu sync.Mutex
+			done := make([]map[int64]bool, 3) // per stage: completed tokens
+			for i := range done {
+				done[i] = make(map[int64]bool)
+			}
+			stages := []Stage{
+				{},
+				{Parallel: true, Deps: []Dep{{Stage: 0, Window: 1}}},
+				{Parallel: true, Deps: []Dep{{Stage: 0, Window: 2}, {Stage: 1, Window: 1}}},
+			}
+			var stats Stats
+			err := Run(stages, tokens, workers, nil, func(stage, replica int, token int64) error {
+				mu.Lock()
+				for _, d := range stages[stage].Deps {
+					if !done[d.Stage][token] {
+						mu.Unlock()
+						return fmt.Errorf("stage %d token %d started before stage %d completed it", stage, token, d.Stage)
+					}
+				}
+				mu.Unlock()
+				mu.Lock()
+				done[stage][token] = true
+				mu.Unlock()
+				return nil
+			}, &stats)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := range done {
+				if len(done[s]) != tokens {
+					t.Errorf("stage %d completed %d tokens, want %d", s, len(done[s]), tokens)
+				}
+			}
+		})
+	}
+}
+
+// TestSequentialStageOrder checks the sequential stage processes every
+// token ascending on a single goroutine.
+func TestSequentialStageOrder(t *testing.T) {
+	var seq []int64
+	stages := []Stage{
+		{},
+		{Parallel: true, Deps: []Dep{{Stage: 0, Window: 1}}},
+	}
+	err := Run(stages, 32, 4, nil, func(stage, replica int, token int64) error {
+		if stage == 0 {
+			if replica != 0 {
+				t.Errorf("sequential stage ran on replica %d", replica)
+			}
+			seq = append(seq, token) // single goroutine: no race
+		}
+		return nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range seq {
+		if v != int64(i) {
+			t.Fatalf("sequential stage order %v", seq)
+		}
+	}
+}
+
+// TestReplicaTokenAssignment checks replica r of a parallel stage gets
+// exactly the tokens t ≡ r (mod R).
+func TestReplicaTokenAssignment(t *testing.T) {
+	const workers = 3
+	var mu sync.Mutex
+	byReplica := make(map[int][]int64)
+	stages := []Stage{
+		{},
+		{Parallel: true, Deps: []Dep{{Stage: 0, Window: 1}}},
+	}
+	err := Run(stages, 30, workers, nil, func(stage, replica int, token int64) error {
+		if stage == 1 {
+			mu.Lock()
+			byReplica[replica] = append(byReplica[replica], token)
+			mu.Unlock()
+		}
+		return nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, ts := range byReplica {
+		for _, tok := range ts {
+			if tok%workers != int64(r) {
+				t.Errorf("replica %d got token %d", r, tok)
+			}
+		}
+	}
+}
+
+// TestBackpressure checks the producer's lead over a slow consumer is
+// bounded by the edge window and that the blocking shows up as stalls.
+func TestBackpressure(t *testing.T) {
+	const window = 2
+	var produced, consumed atomic.Int64
+	var maxLead atomic.Int64
+	stages := []Stage{
+		{},
+		{Deps: []Dep{{Stage: 0, Window: window}}}, // sequential slow consumer
+	}
+	var stats Stats
+	err := Run(stages, 48, 2, nil, func(stage, replica int, token int64) error {
+		if stage == 0 {
+			p := produced.Add(1)
+			if lead := p - consumed.Load(); lead > maxLead.Load() {
+				maxLead.Store(lead)
+			}
+			return nil
+		}
+		time.Sleep(200 * time.Microsecond)
+		consumed.Add(1)
+		return nil
+	}, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The producer may be at most window tokens past the consumer, plus
+	// the one token in flight on each side.
+	if got := maxLead.Load(); got > window+2 {
+		t.Errorf("producer lead %d exceeds window bound %d", got, window+2)
+	}
+	if stats.Stalls.Load() == 0 {
+		t.Error("expected stalls from backpressure against the slow consumer")
+	}
+}
+
+// TestBodyError checks the first body error aborts the pipeline and is
+// returned.
+func TestBodyError(t *testing.T) {
+	boom := errors.New("boom")
+	stages := []Stage{
+		{},
+		{Parallel: true, Deps: []Dep{{Stage: 0, Window: 1}}},
+	}
+	err := Run(stages, 1000, 2, nil, func(stage, replica int, token int64) error {
+		if stage == 1 && token == 5 {
+			return boom
+		}
+		return nil
+	}, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+// TestCancel checks an external cancellation unblocks the pipeline and
+// returns ErrCanceled.
+func TestCancel(t *testing.T) {
+	cancel := make(chan struct{})
+	var once sync.Once
+	stages := []Stage{
+		{},
+		{Deps: []Dep{{Stage: 0, Window: 1}}},
+	}
+	err := Run(stages, 1_000_000, 2, cancel, func(stage, replica int, token int64) error {
+		if stage == 1 && token == 3 {
+			once.Do(func() { close(cancel) })
+			// Park so only cancellation can finish the run.
+			time.Sleep(time.Millisecond)
+		}
+		return nil
+	}, nil)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestBodyPanic checks a panicking body re-raises from Run after every
+// goroutine stopped.
+func TestBodyPanic(t *testing.T) {
+	defer func() {
+		if v := recover(); v != "kaboom" {
+			t.Fatalf("recovered %v, want kaboom", v)
+		}
+	}()
+	stages := []Stage{
+		{},
+		{Parallel: true, Deps: []Dep{{Stage: 0, Window: 1}}},
+	}
+	_ = Run(stages, 100, 2, nil, func(stage, replica int, token int64) error {
+		if stage == 1 && token == 7 {
+			panic("kaboom")
+		}
+		return nil
+	}, nil)
+	t.Fatal("Run returned instead of panicking")
+}
+
+// TestEmptyAndDegenerate covers the no-op shapes.
+func TestEmptyAndDegenerate(t *testing.T) {
+	if err := Run(nil, 10, 2, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := Run([]Stage{{}}, 0, 2, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Zero workers clamp to one.
+	ran := 0
+	err := Run([]Stage{{}}, 3, 0, nil, func(stage, replica int, token int64) error {
+		ran++
+		return nil
+	}, nil)
+	if err != nil || ran != 3 {
+		t.Fatalf("err=%v ran=%d", err, ran)
+	}
+}
+
+// TestMidChainReplication checks a parallel stage feeding a later
+// stage: the emitter must restore token order before forwarding.
+func TestMidChainReplication(t *testing.T) {
+	const tokens = 96
+	var mu sync.Mutex
+	mid := make(map[int64]bool)
+	var lastSink int64 = -1
+	stages := []Stage{
+		{},
+		{Parallel: true, Deps: []Dep{{Stage: 0, Window: 1}}},
+		{Deps: []Dep{{Stage: 1, Window: 3}}}, // sequential sink
+	}
+	err := Run(stages, tokens, 4, nil, func(stage, replica int, token int64) error {
+		switch stage {
+		case 1:
+			// Jitter the replicas so completions arrive out of order.
+			time.Sleep(time.Duration(token%5) * 50 * time.Microsecond)
+			mu.Lock()
+			mid[token] = true
+			mu.Unlock()
+		case 2:
+			mu.Lock()
+			defer mu.Unlock()
+			if !mid[token] {
+				return fmt.Errorf("sink token %d before mid stage completed it", token)
+			}
+			if token != lastSink+1 {
+				return fmt.Errorf("sink token %d after %d: order broken", token, lastSink)
+			}
+			lastSink = token
+		}
+		return nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastSink != tokens-1 {
+		t.Fatalf("sink stopped at %d", lastSink)
+	}
+}

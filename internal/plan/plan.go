@@ -28,6 +28,14 @@ const (
 	// (DOALL) traversal of each plane, with the T⁻¹ remap back to the
 	// original index frame baked into the step (see Hyper).
 	OpWavefront
+	// OpPipeline is a PS-DSWP decoupled software pipeline: a fully
+	// sequential producer nest and the downstream DOALL nests that
+	// consume its outputs at the same or earlier iterations of the
+	// nest's outer dimension, partitioned into stages that stream that
+	// dimension's iterations ("tokens") through bounded channels. The
+	// sequential stage keeps one goroutine; parallel stages replicate.
+	// See Pipe.
+	OpPipeline
 )
 
 // String names the opcode.
@@ -41,6 +49,8 @@ func (o Op) String() string {
 		return "doall"
 	case OpWavefront:
 		return "wavefront"
+	case OpPipeline:
+		return "pipeline"
 	}
 	return "?"
 }
@@ -74,6 +84,52 @@ type Step struct {
 	// Hyper carries the §4 restructuring data for OpWavefront steps; nil
 	// for every other op.
 	Hyper *Hyper
+	// Pipe carries the stage partition for OpPipeline steps; nil for
+	// every other op.
+	Pipe *Pipe
+}
+
+// Pipe is the stage partition of one OpPipeline step. The dependence
+// SCC DAG of the region — the producer nest plus its downstream DOALL
+// consumers — is grouped into stages; the streamed dimension's
+// iterations are the pipeline tokens, and every cross-stage dependence
+// reaches only the same or earlier tokens, so a stage may start token t
+// as soon as each upstream stage has finished token t (the backward
+// distances in Deps relax that to t - Dist).
+type Pipe struct {
+	// Stream is the frame slot of the streamed (outer sequential)
+	// dimension.
+	Stream int
+	// Window is 1 + the largest backward token distance any cross-stage
+	// dependence carries — the channel capacity bound, playing the role
+	// Hyper.Window plays for wavefronts.
+	Window int
+	// Stages partitions the step's body: stage k's body is
+	// Steps[Stages[k].First:Stages[k].End], executed once per token with
+	// the stream slot pinned.
+	Stages []PipeStage
+}
+
+// PipeStage is one pipeline stage.
+type PipeStage struct {
+	// First, End bound the stage's body steps.
+	First, End int
+	// Parallel marks a DOALL-able stage the runtime replicates
+	// PS-DSWP-style; the sequential producer stage (always stage 0) gets
+	// exactly one goroutine.
+	Parallel bool
+	// Deps lists the upstream stages whose outputs this stage reads,
+	// with the largest backward distance along the streamed dimension:
+	// token t of this stage needs token t - Dist … t of stage Stage.
+	Deps []PipeDep
+}
+
+// PipeDep is one cross-stage dependence.
+type PipeDep struct {
+	Stage int
+	// Dist is the largest backward distance along the streamed
+	// dimension (0 = same token).
+	Dist int64
 }
 
 // Hyper is the hyperplane restructuring of one sequential loop nest
@@ -189,6 +245,67 @@ type Program struct {
 	// Virtual carries the §3.4 window-allocatable dimensions through to
 	// the backends.
 	Virtual []core.VirtualDim
+	// Cascade records one Decision per lowered loop nest when the
+	// scheduler cascade ran (Options.Hyperplane); nil otherwise.
+	Cascade []Decision
+}
+
+// Rejection records why one cascade backend declined a nest.
+type Rejection struct {
+	Backend string // "doall", "wavefront", "pipeline"
+	Reason  string
+}
+
+// Decision is the scheduler cascade's record for one lowered loop nest:
+// which backend won and why each earlier backend in the cascade order
+// was rejected. Runner.Explain renders the list.
+type Decision struct {
+	// Step indexes the step the nest lowered to.
+	Step int
+	// Nest names the nest's dimensions, outermost first.
+	Nest string
+	// Choice is the winning backend: "doall", "wavefront", "pipeline"
+	// or "sequential".
+	Choice string
+	// Detail is backend-specific: the chosen π for wavefronts, the
+	// stage split for pipelines.
+	Detail string
+	// Merged marks a nest the re-merge pre-pass rebuilt from sibling
+	// nests the scheduler had split.
+	Merged bool
+	// Rejections lists the backends tried before Choice, in cascade
+	// order, with the reason each declined.
+	Rejections []Rejection
+}
+
+// CascadeReport renders the cascade decisions as an indented block, or
+// "" when the cascade did not run:
+//
+//	cascade:
+//	  step 0: nest I, J -> doall
+//	  step 4: nest I -> pipeline (3 stages: 1 seq + 2 par, window 1)
+//	          doall rejected: 2 loop-carried dependence edge(s)
+//	          wavefront rejected: hyperplane: ...
+func (p *Program) CascadeReport() string {
+	if len(p.Cascade) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString("cascade:\n")
+	for _, d := range p.Cascade {
+		fmt.Fprintf(&sb, "  step %d: nest %s -> %s", d.Step, d.Nest, d.Choice)
+		if d.Detail != "" {
+			fmt.Fprintf(&sb, " (%s)", d.Detail)
+		}
+		if d.Merged {
+			sb.WriteString(" [re-merged sibling nests]")
+		}
+		sb.WriteByte('\n')
+		for _, r := range d.Rejections {
+			fmt.Fprintf(&sb, "          %s rejected: %s\n", r.Backend, r.Reason)
+		}
+	}
+	return sb.String()
 }
 
 // NSlots returns the index-frame length plans of this module require.
@@ -216,11 +333,18 @@ const MaxCollapse = 8
 type Options struct {
 	// Fuse applies §5 loop fusion to the flowchart before lowering.
 	Fuse bool
-	// Hyperplane applies the automatic §4 restructuring: every fully
-	// sequential singleton loop nest around one constant-offset
-	// recurrence is analyzed for a valid time vector and, when eligible,
-	// lowered as an OpWavefront step instead of a DO nest.
+	// Hyperplane runs the scheduler selection cascade: each nest tries
+	// DOALL first, then the automatic §4 wavefront restructuring, then
+	// the PS-DSWP pipeline backend, and falls back to a sequential DO
+	// nest only when every backend declines. It also enables the
+	// re-merge pre-pass rejoining sibling nests whose unioned
+	// dependence vectors admit a π.
 	Hyperplane bool
+	// PipelineFirst flips the cascade's tie-break to prefer the
+	// pipeline backend over the wavefront transform (the
+	// WithSchedule(SchedulePipeline) variant). Meaningless without
+	// Hyperplane.
+	PipelineFirst bool
 }
 
 // Lower flattens a module's schedule into an executable plan. It is the
@@ -237,6 +361,9 @@ func Lower(m *sem.Module, sched *core.Schedule, opts Options) *Program {
 	if opts.Fuse {
 		fc = core.Fuse(fc)
 	}
+	if opts.Hyperplane {
+		fc = lw.remerge(fc)
+	}
 	lw.lower(fc)
 	return p
 }
@@ -251,26 +378,183 @@ func (p *Program) HasWavefront() bool {
 	return false
 }
 
+// HasPipeline reports whether the plan contains a PS-DSWP pipeline step.
+func (p *Program) HasPipeline() bool {
+	for i := range p.Steps {
+		if p.Steps[i].Op == OpPipeline {
+			return true
+		}
+	}
+	return false
+}
+
 // lowerer carries lowering state for one Lower call.
 type lowerer struct {
-	p     *Program
-	m     *sem.Module
-	opts  Options
-	slot  map[*types.Subrange]int
-	eqIdx map[*sem.Equation]int
+	p      *Program
+	m      *sem.Module
+	opts   Options
+	slot   map[*types.Subrange]int
+	eqIdx  map[*sem.Equation]int
+	merged map[*core.LoopDesc]bool
 }
 
 func (lw *lowerer) lower(fc core.Flowchart) {
-	for _, d := range fc {
-		switch x := d.(type) {
+	for i := 0; i < len(fc); i++ {
+		switch x := fc[i].(type) {
 		case *core.NodeDesc:
 			if x.Node.Eq != nil {
 				lw.p.Steps = append(lw.p.Steps, Step{Op: OpEq, Eq: lw.kernel(x.Node.Eq)})
 			}
 		case *core.LoopDesc:
-			lw.lowerLoop(x)
+			if lw.opts.Hyperplane {
+				// The cascade may absorb downstream siblings into a
+				// pipeline step.
+				i += lw.lowerCascade(fc, i) - 1
+			} else {
+				lw.lowerLoop(x)
+			}
 		}
 	}
+}
+
+// remerge is the cascade pre-pass: when a sequential loop's body was
+// split by the scheduler into sibling DO nests over one common subrange
+// (deleting the cross edges of a strongly connected component splits it
+// into per-equation loops), re-merge the siblings with the §5 fusion
+// rules and keep the merged nest exactly when the unioned dependence
+// vectors of the rejoined body admit a time vector — so the base
+// schedule of a program like mutual.ps wavefronts the way its fused
+// variant does.
+func (lw *lowerer) remerge(fc core.Flowchart) core.Flowchart {
+	out := make(core.Flowchart, 0, len(fc))
+	for _, d := range fc {
+		l, ok := d.(*core.LoopDesc)
+		if !ok {
+			out = append(out, d)
+			continue
+		}
+		nl := &core.LoopDesc{
+			Subrange: l.Subrange,
+			Parallel: l.Parallel,
+			Body:     lw.remerge(l.Body),
+			Deleted:  l.Deleted,
+		}
+		if cand, ok := lw.tryRemerge(nl); ok {
+			if lw.merged == nil {
+				lw.merged = make(map[*core.LoopDesc]bool)
+			}
+			lw.merged[cand] = true
+			nl = cand
+		}
+		out = append(out, nl)
+	}
+	return out
+}
+
+// tryRemerge rebuilds l with its sibling body nests fused, keeping the
+// result only when the merged nest admits a π.
+func (lw *lowerer) tryRemerge(l *core.LoopDesc) (*core.LoopDesc, bool) {
+	if l.Parallel || len(l.Body) < 2 {
+		return nil, false
+	}
+	var sub *types.Subrange
+	for _, d := range l.Body {
+		inner, ok := d.(*core.LoopDesc)
+		if !ok || inner.Parallel {
+			return nil, false
+		}
+		if sub == nil {
+			sub = inner.Subrange
+		} else if inner.Subrange != sub {
+			return nil, false
+		}
+	}
+	fused := core.Fuse(l.Body)
+	if len(fused) != 1 {
+		return nil, false
+	}
+	cand := &core.LoopDesc{Subrange: l.Subrange, Body: fused, Deleted: l.Deleted}
+	if _, _, err := lw.wavefrontAnalysis(cand); err != nil {
+		return nil, false
+	}
+	return cand, true
+}
+
+// lowerCascade lowers the loop at fc[i] through the backend selection
+// cascade — DOALL, then wavefront, then pipeline (the last two swap
+// under Options.PipelineFirst) — records the Decision, and returns how
+// many region descriptors it consumed (a pipeline absorbs the
+// downstream sibling nests it stages).
+func (lw *lowerer) lowerCascade(fc core.Flowchart, i int) int {
+	l := fc[i].(*core.LoopDesc)
+	step := len(lw.p.Steps)
+	if l.Parallel {
+		lw.lowerLoop(l)
+		lw.p.Cascade = append(lw.p.Cascade, Decision{
+			Step:   step,
+			Nest:   lw.p.dimNames(&lw.p.Steps[step]),
+			Choice: "doall",
+		})
+		return 1
+	}
+	d := Decision{Step: step, Nest: l.Subrange.Name, Merged: lw.merged[l]}
+	d.Rejections = append(d.Rejections, Rejection{"doall", doallReason(l)})
+	consumed := 0
+	try := func(backend string) bool {
+		switch backend {
+		case "wavefront":
+			an, eqs, err := lw.wavefrontAnalysis(l)
+			if err != nil {
+				d.Rejections = append(d.Rejections, Rejection{"wavefront", err.Error()})
+				return false
+			}
+			lw.emitWavefront(an, eqs)
+			names := make([]string, len(an.Dims))
+			for k, dim := range an.Dims {
+				names[k] = dim.Name
+			}
+			d.Nest = strings.Join(names, ", ")
+			d.Choice = "wavefront"
+			d.Detail = fmt.Sprintf("pi = %s, window %d", vecString(an.Pi), an.Window)
+			consumed = 1
+			return true
+		case "pipeline":
+			pp, reason := lw.tryPipeline(fc, i)
+			if pp == nil {
+				d.Rejections = append(d.Rejections, Rejection{"pipeline", reason})
+				return false
+			}
+			lw.emitPipeline(l, pp)
+			d.Choice = "pipeline"
+			d.Detail = fmt.Sprintf("%d stages: 1 seq + %d par, window %d, stream %s",
+				1+len(pp.consumers), len(pp.consumers), pp.window, l.Subrange.Name)
+			consumed = 1 + len(pp.consumers)
+			return true
+		}
+		return false
+	}
+	order := []string{"wavefront", "pipeline"}
+	if lw.opts.PipelineFirst {
+		order = []string{"pipeline", "wavefront"}
+	}
+	for _, b := range order {
+		if try(b) {
+			lw.p.Cascade = append(lw.p.Cascade, d)
+			return consumed
+		}
+	}
+	lw.lowerLoop(l)
+	d.Choice = "sequential"
+	lw.p.Cascade = append(lw.p.Cascade, d)
+	return 1
+}
+
+// doallReason explains why a sequential loop cannot be a DOALL.
+func doallReason(l *core.LoopDesc) string {
+	if n := len(l.Deleted); n > 0 {
+		return fmt.Sprintf("%d loop-carried dependence edge(s) force ascending order", n)
+	}
+	return "loop-carried dependences force ascending order"
 }
 
 // slotOf resolves a scheduled subrange to its frame slot; every loop
@@ -303,9 +587,6 @@ func (lw *lowerer) kernel(eq *sem.Equation) int {
 // every activation. PS subrange bounds depend only on module scalars, so
 // inner bounds are loop-invariant and the collapse is always legal.
 func (lw *lowerer) lowerLoop(l *core.LoopDesc) {
-	if lw.opts.Hyperplane && !l.Parallel && lw.tryWavefront(l) {
-		return
-	}
 	dims := []int{lw.slotOf(l.Subrange)}
 	body := l.Body
 	op := OpDo
@@ -336,22 +617,21 @@ func (lw *lowerer) lowerLoop(l *core.LoopDesc) {
 	}
 }
 
-// tryWavefront recognizes the §4-eligible shape under l — a maximal
-// nest of fully sequential singleton loops whose innermost body is one
-// or more recurrence equations iterating exactly the nest's dimensions
-// (one equation, a strongly connected component the scheduler put into
-// one nest, or a §5-fused group) — runs the hyperplane analysis on the
-// union of the group's dependence vectors, and lowers an OpWavefront
-// step when one valid time vector exists for the whole group. It
-// reports whether the nest was consumed; on any ineligibility it
-// returns false and the caller lowers the ordinary DO nest, so the
-// transform is always a pure win-or-no-change.
-func (lw *lowerer) tryWavefront(l *core.LoopDesc) bool {
+// wavefrontAnalysis recognizes the §4-eligible shape under l — a
+// maximal nest of fully sequential singleton loops whose innermost body
+// is one or more recurrence equations iterating exactly the nest's
+// dimensions (one equation, a strongly connected component the
+// scheduler put into one nest, or a §5-fused group) — and runs the
+// hyperplane analysis on the union of the group's dependence vectors.
+// On any ineligibility it returns an error naming the reason, which the
+// cascade records as the wavefront backend's rejection; the transform
+// stays a pure win-or-no-change.
+func (lw *lowerer) wavefrontAnalysis(l *core.LoopDesc) (*hyperplane.Analysis, []*sem.Equation, error) {
 	var dims []*types.Subrange
 	cur := l
 	for {
 		if cur.Parallel {
-			return false
+			return nil, nil, fmt.Errorf("nest has a DOALL dimension (%s)", cur.Subrange.Name)
 		}
 		dims = append(dims, cur.Subrange)
 		if len(cur.Body) == 1 {
@@ -362,37 +642,43 @@ func (lw *lowerer) tryWavefront(l *core.LoopDesc) bool {
 		}
 		eqs := equationBody(cur.Body)
 		if eqs == nil {
-			return false
+			return nil, nil, fmt.Errorf("innermost body is not a pure equation group")
 		}
 		// A 1-D nest has no plane to parallelize; every equation must
 		// iterate the nest's full dimension set so one time vector covers
 		// every scheduled subscript of the group.
-		if len(dims) < 2 || len(dims) > MaxCollapse {
-			return false
+		if len(dims) < 2 {
+			return nil, nil, fmt.Errorf("1-D nest has no plane to parallelize")
+		}
+		if len(dims) > MaxCollapse {
+			return nil, nil, fmt.Errorf("nest exceeds the %d-dimension collapse bound", MaxCollapse)
 		}
 		for _, eq := range eqs {
-			if len(eq.Dims) != len(dims) {
-				return false
-			}
-			for _, d := range eq.Dims {
-				found := false
-				for _, nd := range dims {
-					if nd == d {
-						found = true
+			covers := len(eq.Dims) == len(dims)
+			if covers {
+				for _, d := range eq.Dims {
+					found := false
+					for _, nd := range dims {
+						if nd == d {
+							found = true
+							break
+						}
+					}
+					if !found {
+						covers = false
 						break
 					}
 				}
-				if !found {
-					return false
-				}
+			}
+			if !covers {
+				return nil, nil, fmt.Errorf("equation %s does not iterate the nest's dimension set", eq.Label)
 			}
 		}
 		an, err := hyperplane.AnalyzeGroup(lw.m, eqs)
 		if err != nil {
-			return false
+			return nil, nil, err
 		}
-		lw.emitWavefront(an, eqs)
-		return true
+		return an, eqs, nil
 	}
 }
 
@@ -506,6 +792,9 @@ func (p *Program) String() string {
 	if p.HasWavefront() {
 		variant += ", auto-hyperplane"
 	}
+	if p.HasPipeline() {
+		variant += ", pipelined"
+	}
 	fmt.Fprintf(&sb, "plan %s (%d steps, %d slots%s)\n", p.Module, len(p.Steps), len(p.Bounds), variant)
 	for i, b := range p.Bounds {
 		fmt.Fprintf(&sb, "  bound %s = %s .. %s [slot %d]\n",
@@ -561,6 +850,35 @@ func (p *Program) String() string {
 			}
 			sb.WriteByte('\n')
 			depth = append(depth, st.End)
+		case OpPipeline:
+			pp := st.Pipe
+			npar := 0
+			for _, sg := range pp.Stages {
+				if sg.Parallel {
+					npar++
+				}
+			}
+			fmt.Fprintf(&sb, "pipeline %s  stages %d (%d seq + %d par), window %d\n",
+				p.Bounds[pp.Stream].Subrange.Name, len(pp.Stages), len(pp.Stages)-npar, npar, pp.Window)
+			// The stage table: which body steps each stage owns and
+			// which upstream stages (with backward token distance) gate
+			// its tokens.
+			pad := strings.Repeat("    ", len(depth))
+			for k, sg := range pp.Stages {
+				kind := "seq"
+				if sg.Parallel {
+					kind = "par"
+				}
+				fmt.Fprintf(&sb, "      %sstage %d: %s steps %d..%d", pad, k, kind, sg.First, sg.End-1)
+				for di, dep := range sg.Deps {
+					if di == 0 {
+						sb.WriteString("  after")
+					}
+					fmt.Fprintf(&sb, " s%d+%d", dep.Stage, dep.Dist)
+				}
+				sb.WriteByte('\n')
+			}
+			depth = append(depth, st.End)
 		}
 	}
 	return sb.String()
@@ -583,6 +901,16 @@ func (p *Program) compactRange(lo, hi int) (string, int) {
 		case OpEq:
 			parts = append(parts, p.Eqs[st.Eq].Label)
 			i++
+		case OpPipeline:
+			// Stage bodies joined by "|" — the decoupled stages of one
+			// PS-DSWP step.
+			stages := make([]string, len(st.Pipe.Stages))
+			for k, sg := range st.Pipe.Stages {
+				stages[k], _ = p.compactRange(sg.First, sg.End)
+			}
+			parts = append(parts, fmt.Sprintf("PIPELINE[%s] (%s)",
+				p.Bounds[st.Pipe.Stream].Subrange.Name, strings.Join(stages, " | ")))
+			i = st.End
 		default:
 			kw := "DO"
 			switch st.Op {

@@ -164,3 +164,57 @@ define
     Out[I,J] = W[I,J];
 end Wavefront2D;
 `
+
+// Reflect is the pipeline-positive workload (also pinned as
+// testdata/reflect.ps): the reflected previous-row read X[I-1, N+1-J]
+// in eq.2 has no constant column offset, so the wavefront analysis
+// refuses the recurrence nest — but its outer dimension still streams
+// to the two DOALL output copies, so the lowering cascade decouples it
+// into a PS-DSWP pipeline: the sequential DO I (DO J) producer stage
+// feeding two replicated consumer stages.
+const Reflect = `
+Reflect: module (Seed: array[I,J] of real; N: int):
+    [OutX: array [I,J] of real; OutY: array [I,J] of real];
+type
+    I,J = 1 .. N;
+var
+    X: array [1 .. N, 1 .. N] of real;
+    Y: array [1 .. N, 1 .. N] of real;
+define
+    X[I,J] = if (I = 1) or (J = 1)
+             then Seed[I,J]
+             else (X[I-1,J] + Y[I,J-1]) / 2.0;
+    Y[I,J] = if (I = 1) or (J = 1)
+             then 0.5 * Seed[I,J]
+             else (Y[I-1,J] + X[I,J-1] + X[I-1, N+1-J]) / 3.0;
+    OutX[I,J] = X[I,J];
+    OutY[I,J] = Y[I,J];
+end Reflect;
+`
+
+// Mutual is the cascade-ordering workload (also pinned as
+// testdata/mutual.ps): two mutually recursive arrays whose scheduler
+// output is DO I (DO J (eq.2); DO J (eq.1)). The re-merge pre-pass
+// rejoins the sibling nests and the union of dependence vectors
+// {(1,0),(0,1)} admits pi = (1,1), so the auto cascade wavefronts it —
+// while the pipeline-first cascade decouples the same nest into stages
+// instead.
+const Mutual = `
+Mutual: module (Seed: array[I,J] of real; N: int):
+    [OutX: array [I,J] of real; OutY: array [I,J] of real];
+type
+    I,J = 0 .. N+1;
+var
+    X: array [0 .. N+1, 0 .. N+1] of real;
+    Y: array [0 .. N+1, 0 .. N+1] of real;
+define
+    X[I,J] = if (I = 0) or (J = 0)
+             then Seed[I,J]
+             else (Y[I-1,J] + X[I,J-1]) / 2.0;
+    Y[I,J] = if (I = 0) or (J = 0)
+             then 0.5 * Seed[I,J]
+             else (X[I-1,J] + Y[I,J-1]) / 2.0;
+    OutX[I,J] = X[I,J];
+    OutY[I,J] = Y[I,J];
+end Mutual;
+`

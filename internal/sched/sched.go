@@ -19,6 +19,12 @@ const (
 	PolicyBarrier
 	// PolicyDoacross always runs the pipelined tile schedule.
 	PolicyDoacross
+	// PolicyPipeline prefers the PS-DSWP pipeline backend in the plan
+	// cascade: nests with downstream DOALL consumer stages lower as
+	// decoupled pipeline steps even when a wavefront transform would
+	// also apply. Wavefront steps that remain fall back to the auto
+	// barrier/doacross choice.
+	PolicyPipeline
 )
 
 // String names the policy the way flags and Explain spell it.
@@ -30,6 +36,8 @@ func (p Policy) String() string {
 		return "barrier"
 	case PolicyDoacross:
 		return "doacross"
+	case PolicyPipeline:
+		return "pipeline"
 	}
 	return "?"
 }
@@ -43,8 +51,10 @@ func ParsePolicy(s string) (Policy, error) {
 		return PolicyBarrier, nil
 	case "doacross":
 		return PolicyDoacross, nil
+	case "pipeline":
+		return PolicyPipeline, nil
 	}
-	return PolicyAuto, fmt.Errorf("invalid schedule %q (want auto, barrier or doacross)", s)
+	return PolicyAuto, fmt.Errorf("invalid schedule %q (want auto, barrier, doacross or pipeline)", s)
 }
 
 // PredRange bounds the blocked-coordinate shift of the dependences that

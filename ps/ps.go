@@ -222,19 +222,30 @@ const (
 	// workers wait point-to-point only on the predecessor tiles implied
 	// by the dependence window, so successive hyperplanes overlap.
 	ScheduleDoacross = sched.PolicyDoacross
+	// SchedulePipeline reorders the lowering cascade to prefer the
+	// PS-DSWP pipeline backend over the wavefront restructuring:
+	// sequential recurrence nests with downstream DOALL consumers run as
+	// decoupled stages over bounded channels, and only nests the
+	// pipeline recognizer rejects fall back to wavefront analysis.
+	// Wavefront steps that remain execute with automatic per-activation
+	// barrier/doacross selection. Results are bitwise identical to every
+	// other schedule.
+	SchedulePipeline = sched.PolicyPipeline
 )
 
-// WithSchedule selects the wavefront execution strategy for a Runner
-// (or, via EngineDefaults, for every Runner of an engine): barrier,
-// doacross, or automatic per-activation selection. Both strategies are
-// bitwise identical; the choice is purely about synchronization cost.
-// Inert for sequential runs and modules without wavefront steps.
+// WithSchedule selects the backend-preference and wavefront execution
+// strategy for a Runner (or, via EngineDefaults, for every Runner of an
+// engine): automatic per-activation selection, barrier, doacross, or
+// pipeline-first lowering. All strategies are bitwise identical; the
+// choice is purely about synchronization cost. Inert for sequential
+// runs and modules with neither wavefront nor pipeline steps.
 func WithSchedule(s Schedule) RunOption {
 	return func(o *interp.Options) { o.Schedule = s }
 }
 
-// ParseSchedule resolves a -schedule flag value ("auto", "barrier" or
-// "doacross") to the Schedule the CLIs pass to WithSchedule.
+// ParseSchedule resolves a -schedule flag value ("auto", "barrier",
+// "doacross" or "pipeline") to the Schedule the CLIs pass to
+// WithSchedule.
 func ParseSchedule(s string) (Schedule, error) { return sched.ParsePolicy(s) }
 
 // Run executes the named module. Scalar arguments are Go ints, float64s,
@@ -275,15 +286,25 @@ func (m *Module) FlowchartFused() string { return core.Fuse(m.sched.Flowchart).C
 type PlanOptions struct {
 	// Fused selects the §5 loop-fused variant.
 	Fused bool
-	// Hyperplane selects whether the automatic §4 wavefront lowering is
-	// applied; the zero value (HyperplaneAuto) matches the plan parallel
-	// runs execute by default.
+	// Hyperplane selects whether the automatic restructuring cascade
+	// (§4 wavefront and PS-DSWP pipeline lowering) is applied; the zero
+	// value (HyperplaneAuto) matches the plan parallel runs execute by
+	// default.
 	Hyperplane HyperplaneMode
+	// Schedule mirrors WithSchedule for plan selection: SchedulePipeline
+	// selects the pipeline-first cascade variant the same runner option
+	// executes. Other schedules share the default (auto-cascade) plan.
+	Schedule Schedule
 }
 
 // planFor resolves a plan variant.
 func (m *Module) planFor(o PlanOptions) *plan.Program {
-	return m.prog.ip.Plan(m.sem.Name, plan.Options{Fuse: o.Fused, Hyperplane: o.Hyperplane == HyperplaneAuto})
+	hyper := o.Hyperplane == HyperplaneAuto
+	return m.prog.ip.Plan(m.sem.Name, plan.Options{
+		Fuse:          o.Fused,
+		Hyperplane:    hyper,
+		PipelineFirst: hyper && o.Schedule == SchedulePipeline,
+	})
 }
 
 // Plan returns the lowered loop program — the flat, slot-resolved IR

@@ -94,17 +94,34 @@ func (r *Runner) Explain() string {
 	if r.opts.Hyperplane == HyperplaneOff {
 		mode += ", hyperplane off"
 	}
-	planOpts := plan.Options{Fuse: o.Fuse, Hyperplane: o.EffectiveHyperplane()}
+	planOpts := plan.Options{
+		Fuse:          o.Fuse,
+		Hyperplane:    o.EffectiveHyperplane(),
+		PipelineFirst: o.EffectiveHyperplane() && o.Schedule == SchedulePipeline,
+	}
 	pl := r.prog.ip.Plan(r.mod.sem.Name, planOpts)
 	variant := "base plan"
 	if r.opts.Fuse {
 		variant = "fused plan"
 	}
-	if pl.HasWavefront() {
+	switch {
+	case pl.HasPipeline() && pl.HasWavefront():
+		variant = "auto-cascade (wavefront+pipeline) " + variant
+	case pl.HasPipeline():
+		variant = "auto-pipeline " + variant
+	case pl.HasWavefront():
 		variant = "auto-hyperplane " + variant
+	}
+	if pl.HasPipeline() || pl.HasWavefront() {
 		mode += ", schedule " + r.opts.Schedule.String()
 	}
 	fmt.Fprintf(&sb, "runner %s: %s, %s\n", r.mod.Name(), mode, variant)
+	// The cascade report: per eligible nest, which backend won and why
+	// the earlier stages of the DOALL → wavefront → pipeline cascade
+	// (reordered under SchedulePipeline) were rejected.
+	if planOpts.Hyperplane {
+		sb.WriteString(pl.CascadeReport())
+	}
 	if pl.HasWavefront() && !r.opts.Sequential {
 		// The inline-plane threshold starts at the fixed default and is
 		// calibrated once from the measured kernel cost; after this
@@ -156,6 +173,8 @@ func (r *Runner) Run(ctx context.Context, args []any) ([]any, *RunStats, error) 
 		DoacrossTiles:      st.Doacross.Tiles.Load(),
 		DoacrossStalls:     st.Doacross.Stalls.Load(),
 		DoacrossSteals:     st.Doacross.Steals.Load(),
+		PipelineStages:     st.PipelineStages.Load(),
+		StageStalls:        st.PipelineStalls.Load(),
 		SpecializedKernels: st.Specialized.Load(),
 		ArenaReuses:        st.ArenaReuses.Load(),
 		Workers:            effectiveWorkers(o),
@@ -215,6 +234,8 @@ func (r *Runner) RunBatch(ctx context.Context, batch []Args) ([]BatchResult, *Ru
 		DoacrossTiles:      st.Doacross.Tiles.Load(),
 		DoacrossStalls:     st.Doacross.Stalls.Load(),
 		DoacrossSteals:     st.Doacross.Steals.Load(),
+		PipelineStages:     st.PipelineStages.Load(),
+		StageStalls:        st.PipelineStalls.Load(),
 		SpecializedKernels: st.Specialized.Load(),
 		ArenaReuses:        st.ArenaReuses.Load(),
 		Workers:            effectiveWorkers(o),

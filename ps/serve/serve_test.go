@@ -248,6 +248,43 @@ func TestServeQuota(t *testing.T) {
 	}
 }
 
+// TestServeQuotaRetryAfterGrows pins the end-to-end Retry-After hint on
+// a drained bucket: repeated rejections quote growing waits derived from
+// the bucket's actual refill rate — and far above the momentary
+// batch-window hint a full queue quotes — instead of a constant ~1s
+// that would stampede every backed-off client at once.
+func TestServeQuotaRetryAfterGrows(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers:    2,
+		TenantRate: 0.001, // one token per ~17 minutes: no refill mid-test
+	})
+	if code, _, body := postRun(t, ts, "alice", "smooth", "Smooth", 0); code != http.StatusOK {
+		t.Fatalf("first request: %d: %s", code, body)
+	}
+	prev := 0
+	for i := 0; i < 3; i++ {
+		code, hdr, body := postRun(t, ts, "alice", "smooth", "Smooth", 0)
+		if code != http.StatusTooManyRequests {
+			t.Fatalf("rejection %d: %d: %s", i+1, code, body)
+		}
+		ra, err := strconv.Atoi(hdr.Get("Retry-After"))
+		if err != nil {
+			t.Fatalf("rejection %d: Retry-After = %q", i+1, hdr.Get("Retry-After"))
+		}
+		// One token accrues per ~1000s: each rejection joins the backlog
+		// and the hint must step up by about that much.
+		if ra <= prev || ra < (i+1)*900 {
+			t.Errorf("rejection %d: Retry-After = %d, want growing (prev %d) and >= %d", i+1, ra, prev, (i+1)*900)
+		}
+		prev = ra
+	}
+	// The drained-bucket wait dwarfs a queue-full hint, which quotes at
+	// most the batch window (whole seconds, minimum 1).
+	if queueHint := retrySeconds(time.Second); prev <= queueHint {
+		t.Errorf("drained-bucket Retry-After %d not above queue-full hint %d", prev, queueHint)
+	}
+}
+
 // TestServeQueueFull pins backpressure: with a queue depth of 1 and a
 // long batch window, a second concurrent request is rejected with 429
 // while the first is still waiting for its batch.
@@ -598,16 +635,46 @@ func TestTenantTokenBucket(t *testing.T) {
 	if ok || retry != time.Second {
 		t.Fatalf("empty bucket: ok=%v retry=%v", ok, retry)
 	}
-	// Half a second refills half a token.
+	// Half a second refills half a token, but the client rejected above
+	// is ahead in line: the hint covers its token plus the caller's.
 	ok, retry = tn.takeToken(1, 2, t0.Add(500*time.Millisecond))
-	if ok || retry != 500*time.Millisecond {
-		t.Fatalf("half refill: ok=%v retry=%v", ok, retry)
+	if ok || retry != 1500*time.Millisecond {
+		t.Fatalf("half refill behind one rejection: ok=%v retry=%v", ok, retry)
 	}
-	if ok, _ := tn.takeToken(1, 2, t0.Add(2*time.Second)); !ok {
+	if ok, _ := tn.takeToken(1, 2, t0.Add(3*time.Second)); !ok {
 		t.Fatal("full refill denied")
 	}
 	// rate <= 0 disables the quota entirely.
 	if ok, _ := tn.takeToken(0, 0, t0); !ok {
 		t.Fatal("unlimited tenant denied")
+	}
+}
+
+// TestTenantRetryAfterBacklog pins the contention-aware Retry-After:
+// every rejection since the last admission adds one token of deficit,
+// so concurrent clients hammering a drained bucket are spread out
+// across successive refill intervals instead of all being told the
+// same sub-second hint (which stampedes them back at once). Admission
+// clears the backlog.
+func TestTenantRetryAfterBacklog(t *testing.T) {
+	tn := &tenant{name: "x"}
+	t0 := time.Unix(1000, 0)
+	if ok, _ := tn.takeToken(1, 1, t0); !ok {
+		t.Fatal("burst token denied")
+	}
+	for i, want := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		ok, retry := tn.takeToken(1, 1, t0)
+		if ok || retry != want {
+			t.Fatalf("rejection %d: ok=%v retry=%v, want %v", i+1, ok, retry, want)
+		}
+	}
+	// A successful take resets the backlog: the next rejection quotes a
+	// single token again.
+	if ok, _ := tn.takeToken(1, 1, t0.Add(time.Second)); !ok {
+		t.Fatal("refilled token denied")
+	}
+	ok, retry := tn.takeToken(1, 1, t0.Add(time.Second))
+	if ok || retry != time.Second {
+		t.Fatalf("post-admission rejection: ok=%v retry=%v, want 1s", ok, retry)
 	}
 }

@@ -18,6 +18,12 @@ type tenant struct {
 	mu     sync.Mutex
 	tokens float64
 	last   time.Time
+	// rejected counts quota rejections since the last admitted request.
+	// Each rejected client is presumed to retry, so the next arrival
+	// needs the bucket to accrue one token per client ahead of it plus
+	// its own — the Retry-After hint scales with the backlog instead of
+	// always quoting the sub-second single-token refill.
+	rejected int
 
 	// queued counts requests admitted but not yet taken into a batch,
 	// across every batcher. It is the /metrics queue-depth gauge and
@@ -27,7 +33,10 @@ type tenant struct {
 
 // takeToken consumes one quota token, refilling the bucket first.
 // rate <= 0 disables the quota. When the bucket is empty it reports
-// how long until the next token accrues — the Retry-After hint.
+// how long until the caller's token accrues — the Retry-After hint.
+// The hint accounts for every client already turned away since the
+// last admission: a drained bucket under contention quotes the time
+// for the whole backlog to clear, not just one token's refill.
 func (t *tenant) takeToken(rate float64, burst int, now time.Time) (ok bool, retryAfter time.Duration) {
 	if rate <= 0 {
 		return true, 0
@@ -48,9 +57,11 @@ func (t *tenant) takeToken(rate float64, burst int, now time.Time) (ok bool, ret
 	t.last = now
 	if t.tokens >= 1 {
 		t.tokens--
+		t.rejected = 0
 		return true, 0
 	}
-	deficit := 1 - t.tokens
+	deficit := (1 - t.tokens) + float64(t.rejected)
+	t.rejected++
 	return false, time.Duration(math.Ceil(deficit/rate*1000)) * time.Millisecond
 }
 

@@ -37,6 +37,17 @@ type RunStats struct {
 	// than the tile's home worker: how often work stealing rebalanced
 	// the pipeline.
 	DoacrossSteals int64
+	// PipelineStages is the number of PS-DSWP stages launched by
+	// decoupled pipeline steps — one per stage per pipeline activation.
+	// Zero when no nest ran the pipeline backend concurrently (including
+	// sequential runs, where pipeline steps degenerate to stage-ordered
+	// loops).
+	PipelineStages int64
+	// StageStalls counts blocking waits inside pipeline runs: a stage
+	// starved on an empty input channel or backpressured on a full
+	// output channel — the decoupled schedule's residual
+	// synchronization cost.
+	StageStalls int64
 	// SpecializedKernels is the number of equation instances executed
 	// by a specialized (strength-reduced, bounds-certified) kernel
 	// rather than the generic checked evaluator. At most
@@ -56,7 +67,8 @@ type RunStats struct {
 
 // String renders the stats on one line.
 func (s *RunStats) String() string {
-	return fmt.Sprintf("eq_instances=%d specialized=%d doall_chunks=%d wavefront_planes=%d doacross_tiles=%d doacross_stalls=%d doacross_steals=%d arena_reuses=%d workers=%d wall=%s",
+	return fmt.Sprintf("eq_instances=%d specialized=%d doall_chunks=%d wavefront_planes=%d doacross_tiles=%d doacross_stalls=%d doacross_steals=%d pipeline_stages=%d stage_stalls=%d arena_reuses=%d workers=%d wall=%s",
 		s.EquationInstances, s.SpecializedKernels, s.DOALLChunks, s.WavefrontPlanes,
-		s.DoacrossTiles, s.DoacrossStalls, s.DoacrossSteals, s.ArenaReuses, s.Workers, s.WallTime)
+		s.DoacrossTiles, s.DoacrossStalls, s.DoacrossSteals, s.PipelineStages, s.StageStalls,
+		s.ArenaReuses, s.Workers, s.WallTime)
 }

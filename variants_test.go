@@ -160,6 +160,16 @@ func TestVariantParity(t *testing.T) {
 		{"DoacrossFusedPar4", []ps.RunOption{ps.Workers(4), ps.Fused(), ps.WithSchedule(ps.ScheduleDoacross)}},
 		{"DoacrossStrictPar2", []ps.RunOption{ps.Workers(2), ps.Strict(), ps.WithSchedule(ps.ScheduleDoacross)}},
 		{"DoacrossHyperOffPar4", []ps.RunOption{ps.Workers(4), ps.WithHyperplane(ps.HyperplaneOff), ps.WithSchedule(ps.ScheduleDoacross)}},
+		// Pipeline rows: the pipeline-first cascade (PS-DSWP decoupled
+		// stages over bounded channels) must match the sequential
+		// reference bitwise, alone and crossed with workers, fusion,
+		// strictness and hyperplane-off (where the schedule is inert).
+		{"PipelinePar1", []ps.RunOption{ps.Workers(1), ps.WithSchedule(ps.SchedulePipeline)}},
+		{"PipelinePar2", []ps.RunOption{ps.Workers(2), ps.WithSchedule(ps.SchedulePipeline)}},
+		{"PipelinePar4", []ps.RunOption{ps.Workers(4), ps.WithSchedule(ps.SchedulePipeline)}},
+		{"PipelineFusedPar4", []ps.RunOption{ps.Workers(4), ps.Fused(), ps.WithSchedule(ps.SchedulePipeline)}},
+		{"PipelineStrictPar2", []ps.RunOption{ps.Workers(2), ps.Strict(), ps.WithSchedule(ps.SchedulePipeline)}},
+		{"PipelineHyperOffPar4", []ps.RunOption{ps.Workers(4), ps.WithHyperplane(ps.HyperplaneOff), ps.WithSchedule(ps.SchedulePipeline)}},
 	}
 	for _, tp := range variantPrograms(t) {
 		t.Run(tp.name, func(t *testing.T) {
@@ -195,38 +205,48 @@ func TestVariantParity(t *testing.T) {
 	}
 }
 
-// TestAutoHyperplaneEligibility pins down which corpus programs the
-// automatic §4 pass transforms: recurrence nests with constant-offset
-// dependences and a valid time vector become wavefront steps — since
-// the multi-equation extension, that includes strongly connected
-// components scheduled into one nest body — while ineligible shapes
-// (1-D recurrences, already-parallel nests, split components,
-// non-constant-offset group references) must keep their sequential DO
-// loops. The compact plan of the default (auto) variant is the witness.
+// TestAutoHyperplaneEligibility pins down which backend the lowering
+// cascade picks per corpus program. Recurrence nests with
+// constant-offset dependences and a valid time vector become wavefront
+// steps — since the sibling re-merge pre-pass, that includes components
+// the scheduler split into adjacent inner nests whose unioned
+// dependences still admit a π (mutual). Nests the wavefront analysis
+// rejects fall through to the PS-DSWP pipeline backend when downstream
+// DOALL consumers stream the nest's outer dimension (reflect). Shapes
+// neither backend accepts (1-D recurrences, already-parallel nests)
+// keep their sequential DO loops. The compact plan of the default
+// (auto) variant is the witness.
 func TestAutoHyperplaneEligibility(t *testing.T) {
 	cases := []struct {
-		name      string
-		src       string
-		module    string
-		wavefront bool
-		pi        string // expected pi rendering for positive cases
+		name    string
+		src     string
+		module  string
+		backend string // "wavefront", "pipeline" or "sequential"
+		pi      string // expected pi rendering for wavefront cases
 	}{
-		{"testdata/gauss_seidel", mustRead(t, "testdata/gauss_seidel.ps"), "Relaxation", true, "pi=(2,1,1)"},
-		{"testdata/skew_stencil", mustRead(t, "testdata/skew_stencil.ps"), "SkewStencil", true, "pi=(1,1)"},
-		{"testdata/diag_chain", mustRead(t, "testdata/diag_chain.ps"), "DiagChain", true, "pi=(2,1)"},
-		{"psrc/Wavefront2D", psrc.Wavefront2D, "Wavefront2D", true, "pi=(1,1)"},
+		{"testdata/gauss_seidel", mustRead(t, "testdata/gauss_seidel.ps"), "Relaxation", "wavefront", "pi=(2,1,1)"},
+		{"testdata/skew_stencil", mustRead(t, "testdata/skew_stencil.ps"), "SkewStencil", "wavefront", "pi=(1,1)"},
+		{"testdata/diag_chain", mustRead(t, "testdata/diag_chain.ps"), "DiagChain", "wavefront", "pi=(2,1)"},
+		{"psrc/Wavefront2D", psrc.Wavefront2D, "Wavefront2D", "wavefront", "pi=(1,1)"},
 		// Multi-equation positives: one time vector for the union of the
 		// group's dependence vectors.
-		{"testdata/coupled", mustRead(t, "testdata/coupled.ps"), "Coupled", true, "pi=(2,1)"},
-		{"psrc/CoupledGrid", psrc.CoupledGrid, "CoupledGrid", true, "pi=(1,1)"},
-		{"testdata/fuse_pair", mustRead(t, "testdata/fuse_pair.ps"), "FusePair", true, "pi=(1,1)"}, // two singleton wavefronts unfused
-		{"testdata/smith_waterman", mustRead(t, "testdata/smith_waterman.ps"), "SmithWaterman", true, "pi=(1,1)"},
+		{"testdata/coupled", mustRead(t, "testdata/coupled.ps"), "Coupled", "wavefront", "pi=(2,1)"},
+		{"psrc/CoupledGrid", psrc.CoupledGrid, "CoupledGrid", "wavefront", "pi=(1,1)"},
+		{"testdata/fuse_pair", mustRead(t, "testdata/fuse_pair.ps"), "FusePair", "wavefront", "pi=(1,1)"}, // two singleton wavefronts unfused
+		{"testdata/smith_waterman", mustRead(t, "testdata/smith_waterman.ps"), "SmithWaterman", "wavefront", "pi=(1,1)"},
+		// Re-merge positive: the scheduler splits mutual's component into
+		// two adjacent inner nests; the pre-pass re-merges them and the
+		// union analysis wavefronts the base schedule.
+		{"testdata/mutual", mustRead(t, "testdata/mutual.ps"), "Mutual", "wavefront", "pi=(1,1)"},
+		// Pipeline positive: the reflected-column read X[I-1, N+1-J] is
+		// not a constant-offset dependence, so the wavefront analysis
+		// refuses — but the downstream OutX/OutY DOALLs stream rows of
+		// the recurrence, so the cascade decouples the nest PS-DSWP-style.
+		{"testdata/reflect", mustRead(t, "testdata/reflect.ps"), "Reflect", "pipeline", ""},
 		// Negative cases: the DO loops must survive untransformed.
-		{"psrc/Prefix", psrc.Prefix, "Prefix", false, ""},                              // 1-D recurrence: no plane to parallelize
-		{"testdata/mutual", mustRead(t, "testdata/mutual.ps"), "Mutual", false, ""},    // component split by the scheduler: two-loop body
-		{"testdata/reflect", mustRead(t, "testdata/reflect.ps"), "Reflect", false, ""}, // reflected column read: not a constant-offset dependence
-		{"psrc/Relaxation", psrc.Relaxation, "Relaxation", false, ""},                  // inner loops already DOALL
-		{"psrc/Heat1D", psrc.Heat1D, "Heat1D", false, ""},                              // inner loop already DOALL
+		{"psrc/Prefix", psrc.Prefix, "Prefix", "sequential", ""},             // 1-D recurrence: no plane, and its consumer iterates I, not the streamed I2
+		{"psrc/Relaxation", psrc.Relaxation, "Relaxation", "sequential", ""}, // inner loops already DOALL
+		{"psrc/Heat1D", psrc.Heat1D, "Heat1D", "sequential", ""},             // inner loop already DOALL
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -236,18 +256,17 @@ func TestAutoHyperplaneEligibility(t *testing.T) {
 			}
 			m := prog.Module(tc.module)
 			compact := m.PlanCompact()
-			if tc.wavefront {
+			off := m.PlanCompactWith(ps.PlanOptions{Hyperplane: ps.HyperplaneOff})
+			if strings.Contains(off, "WAVEFRONT") || strings.Contains(off, "PIPELINE") {
+				t.Errorf("hyperplane-off plan still restructured: %q", off)
+			}
+			switch tc.backend {
+			case "wavefront":
 				if !strings.Contains(compact, "WAVEFRONT") {
 					t.Errorf("expected a wavefront step in auto plan, got %q", compact)
 				}
 				if !strings.Contains(compact, tc.pi) {
 					t.Errorf("plan %q missing time vector %q", compact, tc.pi)
-				}
-				// The explicit off variant must keep the DO nest, and the
-				// prepared parallel runner must surface the decision.
-				off := m.PlanCompactWith(ps.PlanOptions{Hyperplane: ps.HyperplaneOff})
-				if strings.Contains(off, "WAVEFRONT") {
-					t.Errorf("hyperplane-off plan still has a wavefront step: %q", off)
 				}
 				run, err := prog.Prepare(tc.module, ps.Workers(2))
 				if err != nil {
@@ -257,12 +276,29 @@ func TestAutoHyperplaneEligibility(t *testing.T) {
 				if !strings.Contains(explain, "auto-hyperplane") || !strings.Contains(explain, "wavefront") {
 					t.Errorf("Explain does not surface the wavefront decision:\n%s", explain)
 				}
-			} else {
+			case "pipeline":
 				if strings.Contains(compact, "WAVEFRONT") {
+					t.Errorf("wavefront-ineligible program was transformed: %q", compact)
+				}
+				if !strings.Contains(compact, "PIPELINE") {
+					t.Errorf("expected a pipeline step in auto plan, got %q", compact)
+				}
+				run, err := prog.Prepare(tc.module, ps.Workers(2))
+				if err != nil {
+					t.Fatal(err)
+				}
+				explain := run.Explain()
+				for _, want := range []string{"auto-pipeline", "cascade:", "-> pipeline", "wavefront rejected:"} {
+					if !strings.Contains(explain, want) {
+						t.Errorf("Explain does not surface the cascade decision (missing %q):\n%s", want, explain)
+					}
+				}
+			default:
+				if strings.Contains(compact, "WAVEFRONT") || strings.Contains(compact, "PIPELINE") {
 					t.Errorf("ineligible program was transformed: %q", compact)
 				}
-				if got := m.PlanCompactWith(ps.PlanOptions{Hyperplane: ps.HyperplaneOff}); got != compact {
-					t.Errorf("auto and off plans differ for ineligible program:\n auto %q\n off  %q", compact, got)
+				if off != compact {
+					t.Errorf("auto and off plans differ for ineligible program:\n auto %q\n off  %q", compact, off)
 				}
 			}
 		})
@@ -302,16 +338,17 @@ func TestMultiEquationWavefront(t *testing.T) {
 		}
 	}
 
-	// Fusion synergy: mutual's base variant stays sequential (its
-	// component splits into two inner nests), but the fused body merges
-	// into a group the union analysis transforms; fuse_pair goes from
-	// two singleton wavefronts to one two-kernel wavefront.
+	// Fusion synergy: mutual's base variant wavefronts too since the
+	// re-merge pre-pass rejoins the two inner nests the scheduler split
+	// (so base and fused agree); fuse_pair's top-level siblings are NOT
+	// re-merged — it keeps two singleton wavefronts until §5 fusion
+	// merges them into one two-kernel wavefront.
 	for _, tc := range []struct {
 		file, module string
 		baseWF       int
 		fusedCompact string
 	}{
-		{"testdata/mutual.ps", "Mutual", 0, "WAVEFRONT[pi=(1,1)] I×J (eq.2; eq.1)"},
+		{"testdata/mutual.ps", "Mutual", 1, "WAVEFRONT[pi=(1,1)] I×J (eq.2; eq.1)"},
 		{"testdata/fuse_pair.ps", "FusePair", 2, "WAVEFRONT[pi=(1,1)] I×J (eq.1; eq.2)"},
 	} {
 		prog, err := ps.CompileProgram(tc.file, mustRead(t, tc.file))
