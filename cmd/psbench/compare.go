@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 )
 
@@ -31,6 +32,7 @@ const (
 	verdictRegressed  compareVerdict = "regressed"
 	verdictNoiseFloor compareVerdict = "noise-floor" // both sides under NoiseFloor
 	verdictFewRuns    compareVerdict = "few-runs"    // either side under MinRuns iterations
+	verdictTraced     compareVerdict = "traced"      // recording-on variant, tracked but never gated
 )
 
 // compareLine is one benchmark's comparison outcome.
@@ -61,6 +63,12 @@ func compareFiles(old, cur *benchFile, o compareOptions) (lines []compareLine, r
 		}
 		l := compareLine{Name: b.Name, Old: was.NsPerOp, New: b.NsPerOp, Verdict: verdictOK}
 		switch {
+		case strings.Contains(b.Name, "/Traced"):
+			// Recording-on benchmarks track the recorder's cost over
+			// time but never gate: instrumentation is allowed to grow.
+			// The disabled-path guarantee is enforced by the untraced
+			// variants alongside them.
+			l.Verdict = verdictTraced
 		case was.NsPerOp < int64(o.NoiseFloor) && b.NsPerOp < int64(o.NoiseFloor):
 			l.Verdict = verdictNoiseFloor
 		case was.Runs < o.MinRuns || b.Runs < o.MinRuns:
@@ -81,7 +89,7 @@ func printCompare(w io.Writer, lines []compareLine) {
 		switch l.Verdict {
 		case verdictRegressed:
 			mark = "!"
-		case verdictNoiseFloor, verdictFewRuns:
+		case verdictNoiseFloor, verdictFewRuns, verdictTraced:
 			mark = "~"
 		}
 		fmt.Fprintf(w, "psbench: compare %s %-32s %12d -> %12d ns/op (%+.1f%%) [%s]\n",

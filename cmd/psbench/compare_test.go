@@ -89,6 +89,30 @@ func TestCompareMinRuns(t *testing.T) {
 	}
 }
 
+// TestCompareTracedExempt pins the recording-on exemption: a Traced
+// variant is reported but never gates, no matter how far it moved —
+// instrumentation growth must not fail CI. The untraced variant next
+// to it still gates.
+func TestCompareTracedExempt(t *testing.T) {
+	old := bf(
+		benchResult{Name: "a/TracedAutoPar4", NsPerOp: 1_000_000, Runs: 100},
+		benchResult{Name: "a/AutoPar4", NsPerOp: 1_000_000, Runs: 100},
+	)
+	cur := bf(
+		benchResult{Name: "a/TracedAutoPar4", NsPerOp: 3_000_000, Runs: 100}, // 3x: exempt
+		benchResult{Name: "a/AutoPar4", NsPerOp: 1_500_000, Runs: 100},       // +50%: gated
+	)
+	lines, regressed := compareFiles(old, cur, gate)
+	if !reflect.DeepEqual(regressed, []string{"a/AutoPar4"}) {
+		t.Fatalf("regressed = %v, want [a/AutoPar4]", regressed)
+	}
+	for _, l := range lines {
+		if l.Name == "a/TracedAutoPar4" && l.Verdict != verdictTraced {
+			t.Errorf("traced verdict = %s, want %s", l.Verdict, verdictTraced)
+		}
+	}
+}
+
 // TestCompareDisjointCorpus pins corpus-growth tolerance: benchmarks
 // present in only one file never appear in the report.
 func TestCompareDisjointCorpus(t *testing.T) {

@@ -22,6 +22,9 @@
 //
 // Each variant is measured -samples times and the fastest sample is
 // reported: benchmark noise is additive, so min-of-runs rejects it.
+// The TracedAutoPar variant runs under the execution recorder
+// (Runner.TraceRun) so the recording-on cost is tracked alongside the
+// untraced schedules; -compare reports it but never gates on it.
 //
 // -compare reads a previous psbench output and fails (exit 1) when any
 // benchmark present in both files regressed past -compare-threshold
@@ -207,18 +210,24 @@ func main() {
 			}},
 	}
 	variants := []struct {
-		name string
-		opts []ps.RunOption
+		name   string
+		opts   []ps.RunOption
+		traced bool
 	}{
-		{"Seq", []ps.RunOption{ps.Sequential()}},
+		{"Seq", []ps.RunOption{ps.Sequential()}, false},
 		// SeqNoArena isolates the arena's contribution: identical
 		// execution with activation-array pooling disabled.
-		{"SeqNoArena", []ps.RunOption{ps.Sequential(), ps.NoArena()}},
-		{fmt.Sprintf("HyperOffPar%d", w), []ps.RunOption{ps.Workers(w), ps.WithHyperplane(ps.HyperplaneOff)}},
-		{fmt.Sprintf("AutoPar%d", w), []ps.RunOption{ps.Workers(w)}},
-		{fmt.Sprintf("BarrierPar%d", w), []ps.RunOption{ps.Workers(w), ps.WithSchedule(ps.ScheduleBarrier)}},
-		{fmt.Sprintf("DoacrossPar%d", w), []ps.RunOption{ps.Workers(w), ps.WithSchedule(ps.ScheduleDoacross)}},
-		{fmt.Sprintf("PipelinePar%d", w), []ps.RunOption{ps.Workers(w), ps.WithSchedule(ps.SchedulePipeline)}},
+		{"SeqNoArena", []ps.RunOption{ps.Sequential(), ps.NoArena()}, false},
+		{fmt.Sprintf("HyperOffPar%d", w), []ps.RunOption{ps.Workers(w), ps.WithHyperplane(ps.HyperplaneOff)}, false},
+		{fmt.Sprintf("AutoPar%d", w), []ps.RunOption{ps.Workers(w)}, false},
+		{fmt.Sprintf("BarrierPar%d", w), []ps.RunOption{ps.Workers(w), ps.WithSchedule(ps.ScheduleBarrier)}, false},
+		{fmt.Sprintf("DoacrossPar%d", w), []ps.RunOption{ps.Workers(w), ps.WithSchedule(ps.ScheduleDoacross)}, false},
+		{fmt.Sprintf("PipelinePar%d", w), []ps.RunOption{ps.Workers(w), ps.WithSchedule(ps.SchedulePipeline)}, false},
+		// TracedAutoPar measures the recording-on cost of the execution
+		// recorder (TraceRun vs the AutoPar baseline). It is recorded
+		// for the trajectory but exempt from the -compare gate: tracing
+		// overhead is allowed to move as instrumentation grows.
+		{fmt.Sprintf("TracedAutoPar%d", w), []ps.RunOption{ps.Workers(w)}, true},
 	}
 
 	doc := benchFile{Workers: w, NumCPU: runtime.NumCPU(), BenchTime: benchtime.String(), Samples: *samples}
@@ -243,7 +252,11 @@ func main() {
 			res := minBenchmark(*samples, func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					if _, _, err := run.Run(nil, args); err != nil {
+					if v.traced {
+						if _, _, _, err := run.TraceRun(nil, args); err != nil {
+							b.Fatal(err)
+						}
+					} else if _, _, err := run.Run(nil, args); err != nil {
 						b.Fatal(err)
 					}
 				}

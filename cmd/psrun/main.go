@@ -6,8 +6,8 @@
 //	psrun [-module name] [-workers N] [-seq] [-strict] [-grain N]
 //	      [-fused] [-hyperplane auto|off]
 //	      [-schedule auto|barrier|doacross|pipeline]
-//	      [-timeout d] [-stats] [-explain] [-in inputs.json]
-//	      [-cpuprofile f] [-memprofile f] file.ps
+//	      [-timeout d] [-stats] [-trace out.json] [-explain]
+//	      [-in inputs.json] [-cpuprofile f] [-memprofile f] file.ps
 //
 // The input file maps parameter names to values: scalars as JSON numbers
 // or booleans, arrays as (nested) JSON lists. Array parameter bounds are
@@ -18,10 +18,16 @@
 //
 // -timeout bounds the run with a context deadline; -stats prints the
 // run's counters (equation instances, DOALL chunks, workers, wall time)
-// to standard error. -cpuprofile and -memprofile write pprof profiles
-// covering the run (CPU sampled across it, heap captured at exit). -explain prints the lowered loop plan the selected
-// options would execute — the flat IR shared by the interpreter and the
-// C generator — without running the module.
+// plus a per-schedule timing breakdown (compute/stall/barrier-idle per
+// worker) to standard error. -trace records the run and writes a Chrome
+// trace-event JSON timeline (loadable in Perfetto or chrome://tracing)
+// to the named file; -stats and -trace share one traced execution.
+// -cpuprofile and -memprofile write pprof profiles covering the run
+// (CPU sampled across it, heap captured at exit); CPU samples are
+// tagged with ps_module/ps_step/ps_eqs pprof labels. -explain prints
+// the lowered loop plan the selected options would execute — the flat
+// IR shared by the interpreter and the C generator — without running
+// the module.
 //
 // Failures are reported as typed diagnostics (phase, module, equation,
 // source position). Exit status is 1 for program diagnostics (parse,
@@ -52,7 +58,8 @@ func main() {
 	hyper := flag.String("hyperplane", "auto", "automatic §4 wavefront restructuring of eligible sequential nests: auto or off")
 	schedule := flag.String("schedule", "auto", "scheduling strategy: auto, barrier (per-plane fork/join), doacross (pipelined tiles) or pipeline (prefer PS-DSWP decoupled stages over wavefronts)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
-	stats := flag.Bool("stats", false, "print run statistics to stderr")
+	stats := flag.Bool("stats", false, "print run statistics and a timing breakdown to stderr")
+	trace := flag.String("trace", "", "record the run and write Chrome trace-event JSON to this file")
 	explain := flag.Bool("explain", false, "print the lowered loop plan and exit without running")
 	inFile := flag.String("in", "", "JSON file with parameter values (default: {} )")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -105,6 +112,10 @@ func main() {
 	}
 
 	opts := []ps.RunOption{ps.Workers(*workers)}
+	if *cpuprofile != "" {
+		// Tag CPU samples with the executing module/step/equations.
+		opts = append(opts, ps.WithProfileLabels())
+	}
 	if *seq {
 		opts = append(opts, ps.Sequential())
 	}
@@ -163,9 +174,36 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	results, runStats, err := run.Run(ctx, args)
+	// -stats and -trace both want the recorded timeline; one TraceRun
+	// serves both. A plain run stays on the unrecorded fast path.
+	var results []any
+	var runStats *ps.RunStats
+	if *stats || *trace != "" {
+		var tr *ps.Trace
+		results, runStats, tr, err = run.TraceRun(ctx, args)
+		if *trace != "" && tr != nil {
+			f, ferr := os.Create(*trace)
+			if ferr != nil {
+				fatalUsage(ferr)
+			}
+			if werr := tr.WriteChrome(f); werr == nil {
+				werr = f.Close()
+				if werr != nil {
+					fmt.Fprintln(os.Stderr, "psrun:", werr)
+				}
+			} else {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "psrun:", werr)
+			}
+		}
+	} else {
+		results, runStats, err = run.Run(ctx, args)
+	}
 	if *stats && runStats != nil {
 		fmt.Fprintf(os.Stderr, "psrun: %s\n", runStats)
+		if runStats.Timing != nil {
+			fmt.Fprintf(os.Stderr, "psrun: timing: %s\n", runStats.Timing)
+		}
 	}
 	if err != nil {
 		fatal(err)

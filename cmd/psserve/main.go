@@ -12,12 +12,19 @@
 // prints a lowered plan, GET /healthz reports liveness, and POST
 // /reload re-reads the program directory. SIGINT/SIGTERM drain
 // gracefully: new requests get 503, queued activations finish.
+//
+// Every request carries an X-PS-Request-ID (propagated from the client
+// or generated) echoed on the response; -access-log writes one JSON
+// line per request. With -trace, POST /v1/run?trace=1 runs the
+// activation under the execution recorder and GET /v1/trace?id=
+// exports its Chrome trace-event timeline.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -43,6 +50,8 @@ func main() {
 		runTimeout  = flag.Duration("run-timeout", 0, "bound on one fused batch execution (0 = unbounded)")
 		schedule    = flag.String("schedule", "auto", "wavefront schedule: auto, barrier or doacross")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight work")
+		trace       = flag.Bool("trace", false, "allow ?trace=1 traced runs and GET /v1/trace export")
+		accessLog   = flag.String("access-log", "", "write JSON access-log lines to this file (- for stderr)")
 	)
 	flag.Parse()
 	if *programs == "" {
@@ -53,6 +62,19 @@ func main() {
 	sched, err := ps.ParseSchedule(*schedule)
 	if err != nil {
 		log.Fatalf("psserve: %v", err)
+	}
+	var logw io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		logw = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("psserve: %v", err)
+		}
+		defer f.Close()
+		logw = f
 	}
 
 	srv, err := serve.New(serve.Config{
@@ -66,6 +88,8 @@ func main() {
 		TenantBurst: *tenantBurst,
 		RunTimeout:  *runTimeout,
 		Dir:         *programs,
+		EnableTrace: *trace,
+		AccessLog:   logw,
 	})
 	if err != nil {
 		log.Fatalf("psserve: %v", err)

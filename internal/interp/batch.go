@@ -59,7 +59,7 @@ func (p *Program) RunBatchCtx(ctx context.Context, name string, batch [][]any, o
 				errs[b] = &RunError{Module: m.Name, Err: rs.ctx.Err()}
 				continue
 			}
-			results[b], errs[b] = p.runModule(rs, cm, batch[b], false)
+			results[b], errs[b] = p.runModule(rs, cm, batch[b], false, false)
 		}
 		return results, errs, nil
 	}
@@ -75,7 +75,7 @@ func (p *Program) RunBatchCtx(ctx context.Context, name string, batch [][]any, o
 			rs.stats.Chunks.Add(1)
 		}
 		for b := start; b <= end; b++ {
-			results[b], errs[b] = p.runModule(rs, cm, batch[b], true)
+			results[b], errs[b] = p.runModule(rs, cm, batch[b], true, false)
 		}
 	})
 	if !completed {

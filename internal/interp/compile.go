@@ -463,7 +463,7 @@ func (c *compiler) compileCallEquation(eq *sem.Equation) kernelFn {
 		for i, f := range args {
 			argv[i] = f(en, fr)
 		}
-		results, err := c.p.runModule(en.rs, sub, argv, en.inParallel)
+		results, err := c.p.runModule(en.rs, sub, argv, en.inParallel, en.inParallel || en.inSpan)
 		if err != nil {
 			panic(runtimeError{err: fmt.Errorf("call %s: %w", sub.m.Name, err)})
 		}
@@ -1142,7 +1142,7 @@ func (c *compiler) compileModuleCall(x *ast.Call) evalA {
 		for i, f := range args {
 			argv[i] = f(en, fr)
 		}
-		results, err := p.runModule(en.rs, sub, argv, en.inParallel)
+		results, err := p.runModule(en.rs, sub, argv, en.inParallel, en.inParallel || en.inSpan)
 		if err != nil {
 			panic(runtimeError{err: fmt.Errorf("call %s: %w", sub.m.Name, err)})
 		}

@@ -4,12 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/depgraph"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/pipe"
 	"repro/internal/plan"
@@ -69,6 +72,14 @@ type Options struct {
 	// run allocates fresh zeroed backings (the allocation-trajectory
 	// baseline).
 	NoArena bool
+	// Trace, when non-nil, records timestamped span events (activation,
+	// chunks, planes, tiles, stages, stalls, ...) on per-worker rings as
+	// the run executes. nil tracing costs one branch per emission site.
+	Trace *obs.Recorder
+	// ProfileLabels wraps dispatched work in runtime/pprof label sets
+	// (ps_module, ps_step, ps_eqs) so CPU profiles attribute samples to
+	// the source equations each worker was executing.
+	ProfileLabels bool
 }
 
 // HyperplaneMode controls the automatic §4 restructuring of sequential
@@ -251,6 +262,10 @@ type runState struct {
 	canceled *atomic.Bool
 	stats    *Stats
 	pool     *par.Pool
+	// rec is the run's event recorder (Options.Trace); nil disables
+	// tracing. labels mirrors Options.ProfileLabels.
+	rec    *obs.Recorder
+	labels bool
 }
 
 // cancelled reports whether the run's context has fired.
@@ -294,6 +309,15 @@ type env struct {
 	// (an index into cp.pl.Eqs), or -1; read when a runtime failure
 	// needs attribution.
 	curEq int32
+	// ring is the event ring this env (activation goroutine or worker
+	// chunk) emits trace spans on; nil when tracing is off. Every
+	// worker-state copy of an env resets it — rings are single-writer.
+	ring *obs.Ring
+	// inSpan marks that an enclosing compute span (sequential DOALL,
+	// inline plane, stage-ordered sweep) is already open on ring, so
+	// nested sequential steps — and nested module calls — must not emit
+	// their own: overlapping spans would double-count the breakdown.
+	inSpan bool
 }
 
 // eqLabel resolves the executing equation's label for error reports.
@@ -332,7 +356,7 @@ func (p *Program) RunCtx(ctx context.Context, name string, args []any, opts Opti
 		return nil, &RunError{Module: m.Name, Err: err}
 	}
 	defer cleanup()
-	return p.runModule(rs, p.mods[m], args, false)
+	return p.runModule(rs, p.mods[m], args, false, false)
 }
 
 // newRunState builds the shared execution context of one activation (or
@@ -342,7 +366,7 @@ func (p *Program) RunCtx(ctx context.Context, name string, args []any, opts Opti
 // A context that is already done is reported as an error before any
 // state is created.
 func (p *Program) newRunState(ctx context.Context, opts Options) (*runState, func(), error) {
-	rs := &runState{opts: opts, ctx: ctx, stats: opts.Stats}
+	rs := &runState{opts: opts, ctx: ctx, stats: opts.Stats, rec: opts.Trace, labels: opts.ProfileLabels}
 	if ctx == nil {
 		rs.ctx = context.Background()
 	} else if err := ctx.Err(); err != nil {
@@ -382,7 +406,11 @@ func (p *Program) newRunState(ctx context.Context, opts Options) (*runState, fun
 	}, nil
 }
 
-func (p *Program) runModule(rs *runState, cm *compiledModule, args []any, inParallel bool) (results []any, err error) {
+// runModule executes one activation. covered marks a nested call whose
+// caller is already inside a traced compute span (a worker chunk, tile,
+// stage body or sequential span): the activation then emits no spans of
+// its own — the enclosing span accounts its time.
+func (p *Program) runModule(rs *runState, cm *compiledModule, args []any, inParallel, covered bool) (results []any, err error) {
 	var en *env
 	defer func() {
 		// Flush sequential instance counts whether the run completed,
@@ -435,6 +463,15 @@ func (p *Program) runModule(rs *runState, cm *compiledModule, args []any, inPara
 		inParallel: inParallel,
 		curEq:      -1,
 	}
+	if rs.rec != nil && !covered {
+		ring := rs.rec.Acquire()
+		en.ring = ring
+		actStart := ring.Now()
+		defer func() {
+			ring.Emit(obs.KActivation, actStart, ring.Now()-actStart, 0, 0)
+			rs.rec.Release(ring)
+		}()
+	}
 
 	// Bind parameters.
 	for i, sym := range m.Params {
@@ -486,8 +523,13 @@ func (p *Program) runModule(rs *runState, cm *compiledModule, args []any, inPara
 			}
 		}
 		a, reused := arena.NewArrayIn(al.elem, axes, al.zero)
-		if reused && rs.stats != nil {
-			rs.stats.ArenaReuses.Add(1)
+		if reused {
+			if rs.stats != nil {
+				rs.stats.ArenaReuses.Add(1)
+			}
+			if en.ring != nil {
+				en.ring.Emit(obs.KArenaReuse, en.ring.Now(), 0, int64(al.si), 0)
+			}
 		}
 		if opts.Strict {
 			a.EnableStrict()
@@ -496,7 +538,13 @@ func (p *Program) runModule(rs *runState, cm *compiledModule, args []any, inPara
 	}
 
 	// Execute the plan.
-	p.execSteps(en, fr, 0, len(en.cp.pl.Steps))
+	if rs.labels {
+		pprof.Do(rs.ctx, pprof.Labels("ps_module", m.Name), func(context.Context) {
+			p.execSteps(en, fr, 0, len(en.cp.pl.Steps))
+		})
+	} else {
+		p.execSteps(en, fr, 0, len(en.cp.pl.Steps))
+	}
 	if rs.cancelled() {
 		return nil, &RunError{Module: m.Name, Err: rs.ctx.Err()}
 	}
@@ -631,7 +679,19 @@ func (p *Program) execDoAll(en *env, fr []int64, st *plan.Step, bodyLo int) {
 
 	if rs.pool == nil || en.inParallel || rs.pool.Workers() == 1 {
 		// Sequential execution of the collapsed nest: walk the linear
-		// space odometer-style, innermost dimension fastest.
+		// space odometer-style, innermost dimension fastest. The step is
+		// recorded as one KDoAll span — only on the activation's own
+		// ring: inside a parallel chunk (or an already-open sequential
+		// span) the enclosing span already covers this work.
+		ring := en.ring
+		if en.inParallel || en.inSpan {
+			ring = nil
+		}
+		var t0 int64
+		if ring != nil {
+			t0 = ring.Now()
+			en.inSpan = true
+		}
 		for d := 0; d < ndim; d++ {
 			fr[st.Dims[d]] = lob[d]
 		}
@@ -659,6 +719,10 @@ func (p *Program) execDoAll(en *env, fr []int64, st *plan.Step, bodyLo int) {
 				fr[st.Dims[ndim-1]] = hib[ndim-1]
 				advance(fr, st.Dims, &lob, &hib)
 			}
+			if ring != nil {
+				en.inSpan = false
+				ring.Emit(obs.KDoAll, t0, ring.Now()-t0, total, 0)
+			}
 			return
 		}
 		for c := int64(0); c < total; c++ {
@@ -667,6 +731,10 @@ func (p *Program) execDoAll(en *env, fr []int64, st *plan.Step, bodyLo int) {
 			}
 			p.execSteps(en, fr, bodyLo, bodyHi)
 			advance(fr, st.Dims, &lob, &hib)
+		}
+		if ring != nil {
+			en.inSpan = false
+			ring.Emit(obs.KDoAll, t0, ring.Now()-t0, total, 0)
 		}
 		return
 	}
@@ -681,7 +749,7 @@ func (p *Program) execDoAll(en *env, fr []int64, st *plan.Step, bodyLo int) {
 	var panicked any
 	cm := en.cm
 	leaf := st.Leaf
-	completed := rs.pool.ForRangesOpts(rs.cancelChan(), 0, total-1, rs.opts.Grain, func(start, end int64) {
+	work := func(start, end int64) {
 		ws, _ := cm.ws.Get().(*workerState)
 		if ws == nil {
 			ws = &workerState{}
@@ -696,11 +764,23 @@ func (p *Program) execDoAll(en *env, fr []int64, st *plan.Step, bodyLo int) {
 		sub.inParallel = true
 		sub.eqCount = 0
 		sub.specCount = 0
+		// The env copy aliased the caller's ring; a chunk emits on its
+		// own exclusively-owned ring (or none).
+		sub.ring = nil
+		var t0 int64
+		if rs.rec != nil {
+			sub.ring = rs.rec.Acquire()
+			t0 = sub.ring.Now()
+		}
 		defer func() {
 			if rs.stats != nil {
 				rs.stats.Chunks.Add(1)
 				rs.stats.EqInstances.Add(sub.eqCount)
 				rs.stats.Specialized.Add(sub.specCount)
+			}
+			if sub.ring != nil {
+				sub.ring.Emit(obs.KChunk, t0, sub.ring.Now()-t0, end-start+1, 0)
+				rs.rec.Release(sub.ring)
 			}
 			if r := recover(); r != nil {
 				switch e := r.(type) {
@@ -757,13 +837,55 @@ func (p *Program) execDoAll(en *env, fr []int64, st *plan.Step, bodyLo int) {
 			}
 			advance(wfr, st.Dims, &lob, &hib)
 		}
-	})
+	}
+	if rs.labels {
+		work = labeled(rs, work, pprof.Labels(
+			"ps_module", cm.m.Name, "ps_step", "doall", "ps_eqs", stepEqs(en.cp, bodyLo, bodyHi)))
+	}
+	completed := rs.pool.ForRangesOpts(rs.cancelChan(), 0, total-1, rs.opts.Grain, work)
 	if panicked != nil {
 		panic(panicked)
 	}
 	if !completed {
 		panic(runtimeError{err: rs.ctx.Err()})
 	}
+}
+
+// labeled wraps a chunk function in a pprof label set so CPU samples
+// taken while the chunk runs carry the executing module/step/equations.
+func labeled(rs *runState, work func(start, end int64), lbls pprof.LabelSet) func(start, end int64) {
+	return func(start, end int64) {
+		pprof.Do(rs.ctx, lbls, func(context.Context) { work(start, end) })
+	}
+}
+
+// stepEqs joins the labels of the equation steps in [lo, hi) — the
+// ps_eqs pprof label value.
+func stepEqs(cp *compiledPlan, lo, hi int) string {
+	var sb strings.Builder
+	for i := lo; i < hi; i++ {
+		if cp.pl.Steps[i].Op != plan.OpEq {
+			continue
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(cp.pl.Eqs[cp.pl.Steps[i].Eq].Label)
+	}
+	return sb.String()
+}
+
+// eqsLabel joins the labels of the given kernel indices — the ps_eqs
+// value for wavefront bodies, which carry their equations as indices.
+func eqsLabel(cp *compiledPlan, eqis []int) string {
+	var sb strings.Builder
+	for _, eqi := range eqis {
+		if sb.Len() > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(cp.pl.Eqs[eqi].Label)
+	}
+	return sb.String()
 }
 
 // errPipelineAbort is the sentinel a pipeline stage body returns after
@@ -793,14 +915,29 @@ func (p *Program) execPipeline(en *env, fr []int64, st *plan.Step) {
 	}
 	if rs.pool == nil || en.inParallel || rs.pool.Workers() == 1 || tokens == 1 {
 		canceled := rs.canceled
+		ring := en.ring
+		if en.inParallel || en.inSpan {
+			ring = nil // the enclosing span already covers this work
+		}
 		for k := range pi.Stages {
 			sg := &pi.Stages[k]
+			var t0 int64
+			if ring != nil {
+				t0 = ring.Now()
+				en.inSpan = true
+			}
 			for v := b[0]; v <= b[1]; v++ {
 				if canceled != nil && canceled.Load() {
 					panic(runtimeError{err: rs.ctx.Err()})
 				}
 				fr[slot] = v
 				p.execSteps(en, fr, sg.First, sg.End)
+			}
+			if ring != nil {
+				// One span per stage-ordered sweep; token -1 marks the
+				// degenerate (sequential) execution of all tokens.
+				en.inSpan = false
+				ring.Emit(obs.KStage, t0, ring.Now()-t0, int64(k), -1)
 			}
 		}
 		return
@@ -825,6 +962,14 @@ func (p *Program) execPipeline(en *env, fr []int64, st *plan.Step) {
 	var panicOnce sync.Once
 	var panicked any
 	cm := en.cm
+	var stageLbls []pprof.LabelSet
+	if rs.labels {
+		stageLbls = make([]pprof.LabelSet, len(pi.Stages))
+		for k, sg := range pi.Stages {
+			stageLbls[k] = pprof.Labels("ps_module", cm.m.Name,
+				"ps_step", "pipeline", "ps_eqs", stepEqs(en.cp, sg.First, sg.End))
+		}
+	}
 	var pstats pipe.Stats
 	err := pipe.Run(stages, tokens, rs.pool.Workers(), rs.cancelChan(), func(stage, _ int, token int64) (err error) {
 		ws, _ := cm.ws.Get().(*workerState)
@@ -839,6 +984,7 @@ func (p *Program) execPipeline(en *env, fr []int64, st *plan.Step) {
 		ws.en = *en
 		sub := &ws.en
 		sub.inParallel = true
+		sub.ring = nil // pipe.Run records the stage span on its own ring
 		sub.eqCount = 0
 		sub.specCount = 0
 		defer func() {
@@ -864,9 +1010,15 @@ func (p *Program) execPipeline(en *env, fr []int64, st *plan.Step) {
 		}()
 		sg := &pi.Stages[stage]
 		wfr[slot] = b[0] + token
-		p.execSteps(sub, wfr, sg.First, sg.End)
+		if stageLbls != nil {
+			pprof.Do(rs.ctx, stageLbls[stage], func(context.Context) {
+				p.execSteps(sub, wfr, sg.First, sg.End)
+			})
+		} else {
+			p.execSteps(sub, wfr, sg.First, sg.End)
+		}
 		return nil
-	}, &pstats)
+	}, &pstats, rs.rec)
 	if rs.stats != nil {
 		rs.stats.PipelineStalls.Add(pstats.Stalls.Load())
 	}
@@ -1188,6 +1340,18 @@ func (p *Program) execWavefront(en *env, fr []int64, st *plan.Step, bodyLo int) 
 	// first plane calibrates the measured kernel cost.
 	inline := en.cp.wavefrontGrain()
 	cm := en.cm
+	// Plane spans land on the activation's ring; inside a parallel chunk
+	// (or an already-open sequential span) the enclosing span covers the
+	// work and nothing is emitted here.
+	ring := en.ring
+	if en.inParallel || en.inSpan {
+		ring = nil
+	}
+	var wfLbls pprof.LabelSet
+	if rs.labels {
+		wfLbls = pprof.Labels("ps_module", cm.m.Name,
+			"ps_step", "wavefront", "ps_eqs", eqsLabel(en.cp, w.eqis))
+	}
 
 	for t := w.tlo[0]; t <= w.thi[0]; t++ {
 		if canceled != nil && canceled.Load() {
@@ -1202,6 +1366,11 @@ func (p *Program) execWavefront(en *env, fr []int64, st *plan.Step, bodyLo int) 
 			rs.stats.Planes.Add(1)
 		}
 		if noPool || planeTotal < inline {
+			var t0 int64
+			if ring != nil {
+				t0 = ring.Now()
+				en.inSpan = true
+			}
 			if en.cp.wfCost.Load() == 0 && planeTotal >= 8 {
 				// One-shot grain calibration: time this inline plane and
 				// derive the per-plan threshold from its measured kernel
@@ -1213,9 +1382,13 @@ func (p *Program) execWavefront(en *env, fr []int64, st *plan.Step, bodyLo int) 
 					en.cp.noteWavefrontCost(points, time.Since(start))
 					inline = en.cp.wavefrontGrain()
 				}
-				continue
+			} else {
+				p.execPlaneBox(en, fr, &w, t, &plo, &phi, 0, planeTotal-1)
 			}
-			p.execPlaneBox(en, fr, &w, t, &plo, &phi, 0, planeTotal-1)
+			if ring != nil {
+				en.inSpan = false
+				ring.Emit(obs.KPlane, t0, ring.Now()-t0, t, 0)
+			}
 			continue
 		}
 
@@ -1225,7 +1398,7 @@ func (p *Program) execWavefront(en *env, fr []int64, st *plan.Step, bodyLo int) 
 		// incrementally instead of remapping per point.
 		var panicOnce sync.Once
 		var panicked any
-		completed := rs.pool.ForRangesOpts(rs.cancelChan(), 0, planeTotal-1, rs.opts.Grain, func(start, end int64) {
+		work := func(start, end int64) {
 			ws, _ := cm.ws.Get().(*workerState)
 			if ws == nil {
 				ws = &workerState{}
@@ -1238,9 +1411,19 @@ func (p *Program) execWavefront(en *env, fr []int64, st *plan.Step, bodyLo int) 
 			ws.en = *en
 			sub := &ws.en
 			sub.inParallel = true
+			sub.ring = nil
 			sub.eqCount = 0
 			sub.specCount = 0
+			var t0 int64
+			if rs.rec != nil {
+				sub.ring = rs.rec.Acquire()
+				t0 = sub.ring.Now()
+			}
 			defer func() {
+				if sub.ring != nil {
+					sub.ring.Emit(obs.KChunk, t0, sub.ring.Now()-t0, end-start+1, 1)
+					rs.rec.Release(sub.ring)
+				}
 				if rs.stats != nil {
 					rs.stats.Chunks.Add(1)
 					rs.stats.EqInstances.Add(sub.eqCount)
@@ -1262,7 +1445,20 @@ func (p *Program) execWavefront(en *env, fr []int64, st *plan.Step, bodyLo int) 
 				cm.ws.Put(ws)
 			}()
 			p.execPlaneBox(sub, wfr, &w, t, &plo, &phi, start, end)
-		})
+		}
+		if rs.labels {
+			work = labeled(rs, work, wfLbls)
+		}
+		var t0 int64
+		if ring != nil {
+			t0 = ring.Now()
+		}
+		completed := rs.pool.ForRangesOpts(rs.cancelChan(), 0, planeTotal-1, rs.opts.Grain, work)
+		if ring != nil {
+			// The dispatch span covers the fork/join; member chunks carry
+			// the compute, so Breakdown turns this into barrier idle.
+			ring.Emit(obs.KPlane, t0, ring.Now()-t0, t, 1)
+		}
 		if panicked != nil {
 			panic(panicked)
 		}
@@ -1312,7 +1508,7 @@ func (p *Program) execWavefrontDoacross(en *env, fr []int64, w *wfSpace) {
 	var panicOnce sync.Once
 	var panicked any
 	canceled := rs.canceled
-	completed := sched.Run(nest, rs.pool, rs.cancelChan(), func(_ int, t int64, k int, blo, bhi int64) bool {
+	body := func(_ int, t int64, k int, blo, bhi int64) bool {
 		// Most tile instances of a narrow plane are empty (the tile grid
 		// is global, the tightened plane is not), so the bounds check
 		// runs before any pooled-state setup.
@@ -1343,7 +1539,17 @@ func (p *Program) execWavefrontDoacross(en *env, fr []int64, w *wfSpace) {
 		}
 		ok := p.execDoacrossTile(en, fr, w, t, &plo, &phi, total, &panicOnce, &panicked)
 		return ok && !(canceled != nil && canceled.Load())
-	}, doStats)
+	}
+	if rs.labels {
+		lbls := pprof.Labels("ps_module", en.cm.m.Name,
+			"ps_step", "doacross", "ps_eqs", eqsLabel(en.cp, w.eqis))
+		inner := body
+		body = func(wi int, t int64, k int, blo, bhi int64) (ok bool) {
+			pprof.Do(rs.ctx, lbls, func(context.Context) { ok = inner(wi, t, k, blo, bhi) })
+			return ok
+		}
+	}
+	completed := sched.Run(nest, rs.pool, rs.cancelChan(), body, doStats, rs.rec)
 	if panicked != nil {
 		panic(panicked)
 	}
@@ -1370,6 +1576,7 @@ func (p *Program) execDoacrossTile(en *env, fr []int64, w *wfSpace, t int64, plo
 	ws.en = *en
 	sub := &ws.en
 	sub.inParallel = true
+	sub.ring = nil // sched.Run records the tile span on its own ring
 	sub.eqCount = 0
 	sub.specCount = 0
 	ok = true

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/ast"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/sem"
 	"repro/internal/types"
@@ -726,6 +727,7 @@ func (c *compiler) specializeEquation(eq *sem.Equation, gen kernelFn) (sp eqSpan
 	}}
 
 	sp.specialized = true
+	eqIdx := int64(eq.Index)
 	sp.fn = func(en *env, fr []int64, slots []int, dir []int64, n int64) {
 		if n <= 0 {
 			return
@@ -822,6 +824,12 @@ func (c *compiler) specializeEquation(eq *sem.Equation, gen kernelFn) (sp eqSpan
 			k.sb[i] = en.scalars[si].(bool)
 		}
 		// Generic prefix: points before the certified interval.
+		if cLo > 0 && en.ring != nil {
+			// One instant per fallback segment, not per point: the span's
+			// leading points ran the checked kernel instead of the
+			// specialized stores.
+			en.ring.Emit(obs.KSpecFallback, en.ring.Now(), 0, eqIdx, cLo)
+		}
 		for p := int64(0); p < cLo; p++ {
 			en.eqCount++
 			gen(en, fr)
@@ -848,6 +856,9 @@ func (c *compiler) specializeEquation(eq *sem.Equation, gen kernelFn) (sp eqSpan
 			}
 		}
 		// Generic suffix: points past the certified interval.
+		if cHi+1 < n && en.ring != nil {
+			en.ring.Emit(obs.KSpecFallback, en.ring.Now(), 0, eqIdx, n-cHi-1)
+		}
 		for p := cHi + 1; p < n; p++ {
 			en.eqCount++
 			gen(en, fr)

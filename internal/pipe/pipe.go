@@ -21,6 +21,8 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Dep names an upstream stage and the channel capacity its dependence
@@ -65,8 +67,11 @@ type edge struct {
 // body(stage, replica, token) for the actual work. It returns the first
 // body error, ErrCanceled when cancel fires first, or nil. A panicking
 // body aborts the pipeline and the panic is re-raised from Run after
-// every goroutine has stopped.
-func Run(stages []Stage, tokens int64, workers int, cancel <-chan struct{}, body func(stage, replica int, token int64) error, stats *Stats) error {
+// every goroutine has stopped. rec, when non-nil, records each stage
+// goroutine's body spans (obs.KStage) and blocking channel waits
+// (obs.KStageStall, starved receives and backpressured sends) on
+// per-goroutine rings.
+func Run(stages []Stage, tokens int64, workers int, cancel <-chan struct{}, body func(stage, replica int, token int64) error, stats *Stats, rec *obs.Recorder) error {
 	if tokens <= 0 || len(stages) == 0 {
 		return nil
 	}
@@ -127,14 +132,20 @@ func Run(stages []Stage, tokens int64, workers int, cancel <-chan struct{}, body
 			stats.Stalls.Add(1)
 		}
 	}
-	// recv waits for one completion; reports false on abort.
-	recv := func(ch chan struct{}) bool {
+	// recv waits for one completion; reports false on abort. The
+	// blocking slow path is recorded on ring as a starved-receive stall.
+	recv := func(ch chan struct{}, ring *obs.Ring, stage int) bool {
 		select {
 		case <-ch:
 			return true
 		default:
 		}
 		stall()
+		var t0 int64
+		if ring != nil {
+			t0 = ring.Now()
+			defer func() { ring.Emit(obs.KStageStall, t0, ring.Now()-t0, int64(stage), 0) }()
+		}
 		select {
 		case <-ch:
 			return true
@@ -142,14 +153,20 @@ func Run(stages []Stage, tokens int64, workers int, cancel <-chan struct{}, body
 			return false
 		}
 	}
-	// send publishes one completion; reports false on abort.
-	send := func(ch chan struct{}) bool {
+	// send publishes one completion; reports false on abort. The
+	// blocking slow path is recorded as a backpressured-send stall.
+	send := func(ch chan struct{}, ring *obs.Ring, stage int) bool {
 		select {
 		case ch <- struct{}{}:
 			return true
 		default:
 		}
 		stall()
+		var t0 int64
+		if ring != nil {
+			t0 = ring.Now()
+			defer func() { ring.Emit(obs.KStageStall, t0, ring.Now()-t0, int64(stage), 1) }()
+		}
 		select {
 		case ch <- struct{}{}:
 			return true
@@ -158,9 +175,9 @@ func Run(stages []Stage, tokens int64, workers int, cancel <-chan struct{}, body
 		}
 	}
 	// forward routes the completion of token t to every consumer edge.
-	forward := func(edges []*edge, t int64) bool {
+	forward := func(edges []*edge, t int64, ring *obs.Ring, stage int) bool {
 		for _, e := range edges {
-			if !send(e.chs[int(t%int64(len(e.chs)))]) {
+			if !send(e.chs[int(t%int64(len(e.chs)))], ring, stage) {
 				return false
 			}
 		}
@@ -179,6 +196,11 @@ func Run(stages []Stage, tokens int64, workers int, cancel <-chan struct{}, body
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				var ring *obs.Ring
+				if rec != nil {
+					ring = rec.Acquire()
+					defer rec.Release(ring)
+				}
 				pending := make(map[int64]bool)
 				next := int64(0)
 				for next < tokens {
@@ -191,7 +213,7 @@ func Run(stages []Stage, tokens int64, workers int, cancel <-chan struct{}, body
 					pending[t] = true
 					for pending[next] {
 						delete(pending, next)
-						if !forward(out[s], next) {
+						if !forward(out[s], next, ring, s) {
 							return
 						}
 						next++
@@ -204,6 +226,11 @@ func Run(stages []Stage, tokens int64, workers int, cancel <-chan struct{}, body
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				var ring *obs.Ring
+				if rec != nil {
+					ring = rec.Acquire()
+					defer rec.Release(ring)
+				}
 				defer func() {
 					if v := recover(); v != nil {
 						panicked.Store(v)
@@ -213,11 +240,19 @@ func Run(stages []Stage, tokens int64, workers int, cancel <-chan struct{}, body
 				step := int64(replicas[s])
 				for t := int64(r); t < tokens; t += step {
 					for _, e := range in[s] {
-						if !recv(e.chs[r]) {
+						if !recv(e.chs[r], ring, s) {
 							return
 						}
 					}
-					if err := body(s, r, t); err != nil {
+					var t0 int64
+					if ring != nil {
+						t0 = ring.Now()
+					}
+					err := body(s, r, t)
+					if ring != nil {
+						ring.Emit(obs.KStage, t0, ring.Now()-t0, int64(s), t)
+					}
+					if err != nil {
 						fail(err)
 						return
 					}
@@ -229,7 +264,7 @@ func Run(stages []Stage, tokens int64, workers int, cancel <-chan struct{}, body
 							return
 						}
 					case len(out[s]) > 0:
-						if !forward(out[s], t) {
+						if !forward(out[s], t, ring, s) {
 							return
 						}
 					}

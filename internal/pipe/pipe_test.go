@@ -41,7 +41,7 @@ func TestOrderingContract(t *testing.T) {
 				done[stage][token] = true
 				mu.Unlock()
 				return nil
-			}, &stats)
+			}, &stats, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -70,7 +70,7 @@ func TestSequentialStageOrder(t *testing.T) {
 			seq = append(seq, token) // single goroutine: no race
 		}
 		return nil
-	}, nil)
+	}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestReplicaTokenAssignment(t *testing.T) {
 			mu.Unlock()
 		}
 		return nil
-	}, nil)
+	}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestBackpressure(t *testing.T) {
 		time.Sleep(200 * time.Microsecond)
 		consumed.Add(1)
 		return nil
-	}, &stats)
+	}, &stats, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestBodyError(t *testing.T) {
 			return boom
 		}
 		return nil
-	}, nil)
+	}, nil, nil)
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want %v", err, boom)
 	}
@@ -182,7 +182,7 @@ func TestCancel(t *testing.T) {
 			time.Sleep(time.Millisecond)
 		}
 		return nil
-	}, nil)
+	}, nil, nil)
 	if !errors.Is(err, ErrCanceled) {
 		t.Fatalf("err = %v, want ErrCanceled", err)
 	}
@@ -205,16 +205,16 @@ func TestBodyPanic(t *testing.T) {
 			panic("kaboom")
 		}
 		return nil
-	}, nil)
+	}, nil, nil)
 	t.Fatal("Run returned instead of panicking")
 }
 
 // TestEmptyAndDegenerate covers the no-op shapes.
 func TestEmptyAndDegenerate(t *testing.T) {
-	if err := Run(nil, 10, 2, nil, nil, nil); err != nil {
+	if err := Run(nil, 10, 2, nil, nil, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := Run([]Stage{{}}, 0, 2, nil, nil, nil); err != nil {
+	if err := Run([]Stage{{}}, 0, 2, nil, nil, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Zero workers clamp to one.
@@ -222,7 +222,7 @@ func TestEmptyAndDegenerate(t *testing.T) {
 	err := Run([]Stage{{}}, 3, 0, nil, func(stage, replica int, token int64) error {
 		ran++
 		return nil
-	}, nil)
+	}, nil, nil)
 	if err != nil || ran != 3 {
 		t.Fatalf("err=%v ran=%d", err, ran)
 	}
@@ -260,7 +260,7 @@ func TestMidChainReplication(t *testing.T) {
 			lastSink = token
 		}
 		return nil
-	}, nil)
+	}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Policy selects the wavefront execution strategy.
@@ -152,6 +154,8 @@ type run struct {
 	// generation.
 	wakeMu sync.Mutex
 	wakeCh chan struct{}
+	// rec, when non-nil, records per-worker tile and wait spans.
+	rec *obs.Recorder
 }
 
 // Tiles reports how the nest is blocked: the tile count and width the
@@ -183,8 +187,10 @@ func (n *Nest) Tiles() (ntiles int, tileW int64) {
 // whether every instance completed: false means the run was cancelled
 // (via the cancel channel or a body returning false) with instances
 // unvisited. A nest with an empty time range or coordinate span
-// completes trivially.
-func Run(nest Nest, lp Looper, cancel <-chan struct{}, body Body, stats *Stats) bool {
+// completes trivially. rec, when non-nil, records each worker's tile
+// spans (obs.KTile, with the steal flag) and parked waits
+// (obs.KTileWait) on a per-worker ring.
+func Run(nest Nest, lp Looper, cancel <-chan struct{}, body Body, stats *Stats, rec *obs.Recorder) bool {
 	nplanes := nest.THi - nest.TLo + 1
 	if nplanes <= 0 {
 		return true
@@ -206,6 +212,7 @@ func Run(nest Nest, lp Looper, cancel <-chan struct{}, body Body, stats *Stats) 
 		stats:   stats,
 		cancel:  cancel,
 		wakeCh:  make(chan struct{}),
+		rec:     rec,
 	}
 	for k := 0; k < ntiles; k++ {
 		r.done[k].v.Store(nest.TLo - 1)
@@ -307,6 +314,11 @@ func (r *run) ready(k int) (int64, bool) {
 // and wake stalled peers. With nothing ready it spins briefly, then
 // parks on the generation channel.
 func (r *run) worker(w, workers int) {
+	var ring *obs.Ring
+	if r.rec != nil {
+		ring = r.rec.Acquire()
+		defer r.rec.Release(ring)
+	}
 	home := w * r.ntiles / workers
 	const spinLimit = 64
 	spins := 0
@@ -325,16 +337,28 @@ func (r *run) worker(w, workers int) {
 				continue // another worker won the claim
 			}
 			lo, hi := r.tileSpan(k)
+			var t0 int64
+			if ring != nil {
+				t0 = ring.Now()
+			}
 			ok = r.body(w, t, k, lo, hi)
 			// Publish after the body's writes so a predecessor check
 			// (atomic load of done) orders the data reads behind them.
 			r.done[k].v.Store(t)
 			r.remaining.Add(-1)
+			stolen := r.homeWorker(k, workers) != w
 			if r.stats != nil {
 				r.stats.Tiles.Add(1)
-				if r.homeWorker(k, workers) != w {
+				if stolen {
 					r.stats.Steals.Add(1)
 				}
+			}
+			if ring != nil {
+				flags := int64(k) << 1
+				if stolen {
+					flags |= 1
+				}
+				ring.Emit(obs.KTile, t0, ring.Now()-t0, t, flags)
 			}
 			r.wake()
 			if !ok {
@@ -357,7 +381,7 @@ func (r *run) worker(w, workers int) {
 			continue
 		}
 		spins = 0
-		if !r.park() {
+		if !r.park(ring) {
 			return
 		}
 	}
@@ -409,8 +433,9 @@ func (r *run) wakeAll() {
 // re-check, so a completion between the sample and the select either
 // shows up in the re-check or observes the registration and closes the
 // sampled channel — no lost wakeups. It returns false when the worker
-// should exit.
-func (r *run) park() bool {
+// should exit. The blocked interval is recorded on ring as a
+// KTileWait span.
+func (r *run) park(ring *obs.Ring) bool {
 	r.waiters.Add(1)
 	defer r.waiters.Add(-1)
 	r.wakeMu.Lock()
@@ -428,6 +453,11 @@ func (r *run) park() bool {
 	}
 	if r.stats != nil {
 		r.stats.Stalls.Add(1)
+	}
+	var t0 int64
+	if ring != nil {
+		t0 = ring.Now()
+		defer func() { ring.Emit(obs.KTileWait, t0, ring.Now()-t0, 0, 0) }()
 	}
 	if r.cancel == nil {
 		<-ch

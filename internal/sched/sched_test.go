@@ -82,7 +82,7 @@ func runGrid(t *testing.T, tlo, thi, clo, chi int64, deps []dep, workers int, ti
 			*at(tt, c) = v
 		}
 		return true
-	}, stats)
+	}, stats, nil)
 	if !completed {
 		t.Fatal("doacross run did not complete")
 	}
@@ -156,7 +156,7 @@ func TestDoacrossStats(t *testing.T) {
 			time.Sleep(2 * time.Millisecond)
 		}
 		return true
-	}, &slow)
+	}, &slow, nil)
 	if !completed {
 		t.Fatal("slow-tile run did not complete")
 	}
@@ -180,7 +180,7 @@ func TestDoacrossSteals(t *testing.T) {
 			time.Sleep(50 * time.Microsecond)
 		}
 		return true
-	}, &stats)
+	}, &stats, nil)
 	if !completed {
 		t.Fatal("run did not complete")
 	}
@@ -211,7 +211,7 @@ func TestDoacrossCancel(t *testing.T) {
 		}
 		time.Sleep(20 * time.Microsecond)
 		return true
-	}, nil)
+	}, nil, nil)
 	if completed {
 		t.Fatal("cancelled run reported completion")
 	}
@@ -230,7 +230,7 @@ func TestDoacrossBodyAbort(t *testing.T) {
 		Preds: []PredRange{{Has: true, Lo: 0, Hi: 0}}, Workers: 3, TileWidth: 10}
 	completed := Run(nest, pool, nil, func(_ int, tt int64, _ int, _, _ int64) bool {
 		return ran.Add(1) < 10
-	}, nil)
+	}, nil, nil)
 	if completed {
 		t.Fatal("aborted run reported completion")
 	}
@@ -245,10 +245,10 @@ func TestDoacrossEmpty(t *testing.T) {
 	pool := par.NewPool(2)
 	defer pool.Close()
 	body := func(_ int, _ int64, _ int, _, _ int64) bool { t.Error("body called"); return true }
-	if !Run(Nest{TLo: 5, THi: 4, CoordLo: 0, CoordHi: 9, Window: 2, Workers: 2}, pool, nil, body, nil) {
+	if !Run(Nest{TLo: 5, THi: 4, CoordLo: 0, CoordHi: 9, Window: 2, Workers: 2}, pool, nil, body, nil, nil) {
 		t.Error("empty time range did not complete")
 	}
-	if !Run(Nest{TLo: 0, THi: 4, CoordLo: 9, CoordHi: 0, Window: 2, Workers: 2}, pool, nil, body, nil) {
+	if !Run(Nest{TLo: 0, THi: 4, CoordLo: 9, CoordHi: 0, Window: 2, Workers: 2}, pool, nil, body, nil, nil) {
 		t.Error("empty span did not complete")
 	}
 }

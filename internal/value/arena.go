@@ -12,6 +12,14 @@ import (
 // address space can hold with room to spare.
 const arenaClasses = 40
 
+// arenaMaxClass caps which classes are actually pooled. Arrays at or
+// beyond 1<<24 elements (128 MiB of float64) are allocated at exact
+// size and never recycled: rounding such an array up to its class
+// capacity can nearly double a multi-hundred-megabyte commitment, and
+// the first-touch page-fault cost of a backing that large dwarfs the
+// per-activation allocation savings pooling exists to avoid.
+const arenaMaxClass = 24
+
 // Arena recycles activation arrays across runs. Repeated runs of the
 // same module allocate identically-shaped recurrence arrays every time;
 // without pooling each activation pays five allocations per array
@@ -98,7 +106,7 @@ func (ar *Arena) NewArrayIn(kind types.Kind, axes []Axis, zero bool) (a *Array, 
 		panic("value: negative array size")
 	}
 	class := sizeClass(size)
-	if class >= arenaClasses {
+	if class >= arenaMaxClass {
 		return NewArray(kind, axes), false
 	}
 	if v := pool[class].Get(); v != nil {
@@ -167,7 +175,7 @@ func (ar *Arena) Release(a *Array) {
 	default:
 		return
 	}
-	if c := sizeClass(capacity); capacity == 1<<c && c < arenaClasses {
+	if c := sizeClass(capacity); capacity == 1<<c && c < arenaMaxClass {
 		pool[c].Put(a)
 	}
 }

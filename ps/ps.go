@@ -180,6 +180,13 @@ func NoArena() RunOption { return func(o *interp.Options) { o.NoArena = true } }
 // blocked plane coordinate.
 func Grain(n int64) RunOption { return func(o *interp.Options) { o.Grain = n } }
 
+// WithProfileLabels tags worker execution with runtime/pprof labels
+// (ps_module, ps_step, ps_eqs), so CPU profiles taken during runs
+// attribute samples to the module, schedule step and equations
+// executing when each sample hit. Costs one label-set install per
+// parallel dispatch — negligible next to any profiled workload.
+func WithProfileLabels() RunOption { return func(o *interp.Options) { o.ProfileLabels = true } }
+
 // Fused executes the loop-fused schedule variant (§5 extension).
 func Fused() RunOption { return func(o *interp.Options) { o.Fuse = true } }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/interp"
@@ -28,6 +29,9 @@ type Runner struct {
 	// engine-less programs (each Run then spawns a transient pool) and
 	// for sequential runners.
 	pool *par.Pool
+	// lastTiming holds the breakdown of the most recent TraceRun, for
+	// the timing line of Explain; nil until a traced run completes.
+	lastTiming atomic.Pointer[TimingBreakdown]
 }
 
 // Prepare resolves the named module and fixes its execution options,
@@ -140,6 +144,11 @@ func (r *Runner) Explain() string {
 		} else {
 			fmt.Fprintf(&sb, "kernel %s (%s): generic (%s)\n", ks.Eq, ks.Target, ks.Reason)
 		}
+	}
+	if tb := r.lastTiming.Load(); tb != nil {
+		// Present only after a TraceRun: where the workers' time went,
+		// per schedule, on the most recent traced activation.
+		fmt.Fprintf(&sb, "timing (last traced run): %s\n", tb)
 	}
 	sb.WriteString(pl.String())
 	return sb.String()

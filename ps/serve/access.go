@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// requestIDHeader carries the request correlation ID: propagated from
+// the client when present (so a caller's ID follows the request through
+// logs and trace handles), generated otherwise, and always echoed on
+// the response.
+const requestIDHeader = "X-PS-Request-ID"
+
+// newRequestID returns a 16-hex-char random ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// The system randomness source failing is not worth 500ing a
+		// run request over; fall back to a timestamp-derived ID.
+		return fmt.Sprintf("t%015x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusWriter captures the response status and size for the access
+// log and the latency histogram's endpoint label.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// endpointLabel normalizes a request path to its route for bounded
+// metric cardinality.
+func endpointLabel(path string) string {
+	switch {
+	case path == "/v1/run":
+		return "run"
+	case path == "/v1/trace":
+		return "trace"
+	case path == "/metrics":
+		return "metrics"
+	case path == "/healthz":
+		return "healthz"
+	case path == "/explain":
+		return "explain"
+	case path == "/reload":
+		return "reload"
+	case strings.HasPrefix(path, "/v1/"):
+		return "v1_other"
+	default:
+		return "other"
+	}
+}
+
+// accessEntry is one structured access-log line.
+type accessEntry struct {
+	Time      string  `json:"time"`
+	RequestID string  `json:"request_id"`
+	Method    string  `json:"method"`
+	Path      string  `json:"path"`
+	Status    int     `json:"status"`
+	Bytes     int64   `json:"bytes"`
+	DurMs     float64 `json:"dur_ms"`
+	Tenant    string  `json:"tenant,omitempty"`
+}
+
+// accessLogger serializes access-log writes; lines are complete JSON
+// objects, one per request.
+type accessLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *accessLogger) log(e accessEntry) {
+	if l == nil || l.w == nil {
+		return
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	l.mu.Lock()
+	l.w.Write(append(line, '\n'))
+	l.mu.Unlock()
+}
+
+// withAccess wraps the route mux with the observability envelope every
+// request passes through: request-ID propagation (header in, header
+// out, readable by handlers via the request header), per-endpoint
+// latency observation, and one structured access-log line.
+func (s *Server) withAccess(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get(requestIDHeader)
+		if id == "" {
+			id = newRequestID()
+			// Handlers read the ID from the request header either way.
+			r.Header.Set(requestIDHeader, id)
+		}
+		w.Header().Set(requestIDHeader, id)
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			// Nothing was written (e.g. an abandoned run request whose
+			// handler returned without a response).
+			sw.status = http.StatusOK
+		}
+		dur := time.Since(start)
+		s.metrics.httpLatency.observe(endpointLabel(r.URL.Path), dur.Microseconds())
+		s.access.log(accessEntry{
+			Time:      start.UTC().Format(time.RFC3339Nano),
+			RequestID: id,
+			Method:    r.Method,
+			Path:      r.URL.Path,
+			Status:    sw.status,
+			Bytes:     sw.bytes,
+			DurMs:     float64(dur.Microseconds()) / 1000,
+			Tenant:    r.Header.Get("X-PS-Tenant"),
+		})
+	})
+}

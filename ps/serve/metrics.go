@@ -34,6 +34,18 @@ type metrics struct {
 	doacrossTiles   atomic.Int64
 	doacrossStalls  atomic.Int64
 	doacrossSteals  atomic.Int64
+	pipelineStages  atomic.Int64
+	stageStalls     atomic.Int64
+	specialized     atomic.Int64
+	arenaReuses     atomic.Int64
+
+	// runWall is the fused-dispatch wall time in microseconds — the
+	// run-timing histogram scrapes see without tracing.
+	runWall *histogram
+	// httpLatency is per-endpoint request latency in microseconds.
+	httpLatency *labeledHistogram
+	// tracedRuns counts ?trace=1 activations served.
+	tracedRuns atomic.Int64
 }
 
 func newMetrics() *metrics {
@@ -41,6 +53,9 @@ func newMetrics() *metrics {
 		requests:  newLabeledCounter(),
 		rejected:  newLabeledCounter(),
 		batchSize: newHistogram(1, 2, 4, 8, 16, 32, 64, 128),
+		runWall:   newHistogram(100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000, 1000000),
+		httpLatency: newLabeledHistogram(
+			100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000, 1000000),
 	}
 }
 
@@ -56,6 +71,11 @@ func (m *metrics) noteRunStats(st *ps.RunStats) {
 	m.doacrossTiles.Add(st.DoacrossTiles)
 	m.doacrossStalls.Add(st.DoacrossStalls)
 	m.doacrossSteals.Add(st.DoacrossSteals)
+	m.pipelineStages.Add(st.PipelineStages)
+	m.stageStalls.Add(st.StageStalls)
+	m.specialized.Add(st.SpecializedKernels)
+	m.arenaReuses.Add(st.ArenaReuses)
+	m.runWall.observe(st.WallTime.Microseconds())
 }
 
 // labeledCounter is a counter family with one string label value per
@@ -117,6 +137,47 @@ func (h *histogram) observe(v int64) {
 	h.sum.Add(v)
 }
 
+// labeledHistogram is a histogram family sharing one bucket ladder,
+// one series per label value (here: per endpoint).
+type labeledHistogram struct {
+	bounds []int64
+	mu     sync.Mutex
+	v      map[string]*histogram
+}
+
+func newLabeledHistogram(bounds ...int64) *labeledHistogram {
+	return &labeledHistogram{bounds: bounds, v: make(map[string]*histogram)}
+}
+
+func (l *labeledHistogram) observe(label string, v int64) {
+	l.mu.Lock()
+	h, ok := l.v[label]
+	if !ok {
+		h = newHistogram(l.bounds...)
+		l.v[label] = h
+	}
+	l.mu.Unlock()
+	h.observe(v)
+}
+
+// labeledSeries is one labeled histogram in a snapshot.
+type labeledSeries struct {
+	label string
+	h     *histogram
+}
+
+// snapshot returns the series sorted by label.
+func (l *labeledHistogram) snapshot() []labeledSeries {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]labeledSeries, 0, len(l.v))
+	for label, h := range l.v {
+		out = append(out, labeledSeries{label, h})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].label < out[j].label })
+	return out
+}
+
 // render writes the full exposition. The live gauge values come from
 // the server: per-tenant queue depths and the engine cache snapshot.
 func (m *metrics) render(sb *strings.Builder, queueDepths []labeledValue, es ps.EngineStats) {
@@ -157,12 +218,42 @@ func (m *metrics) render(sb *strings.Builder, queueDepths []labeledValue, es ps.
 		fmt.Fprintf(sb, "ps_serve_queue_depth{tenant=%q} %d\n", lv.label, lv.value)
 	}
 
+	fmt.Fprintf(sb, "# HELP ps_serve_http_latency_us Request latency in microseconds, by endpoint.\n# TYPE ps_serve_http_latency_us histogram\n")
+	for _, ls := range m.httpLatency.snapshot() {
+		var cum int64
+		for i, bound := range ls.h.bounds {
+			cum += ls.h.buckets[i].Load()
+			fmt.Fprintf(sb, "ps_serve_http_latency_us_bucket{endpoint=%q,le=\"%d\"} %d\n", ls.label, bound, cum)
+		}
+		cum += ls.h.buckets[len(ls.h.bounds)].Load()
+		fmt.Fprintf(sb, "ps_serve_http_latency_us_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ls.label, cum)
+		fmt.Fprintf(sb, "ps_serve_http_latency_us_sum{endpoint=%q} %d\n", ls.label, ls.h.sum.Load())
+		fmt.Fprintf(sb, "ps_serve_http_latency_us_count{endpoint=%q} %d\n", ls.label, ls.h.count.Load())
+	}
+
+	counter("ps_serve_traced_runs_total", "Activations executed with ?trace=1 recording.", m.tracedRuns.Load())
+
 	counter("ps_run_eq_instances_total", "Equation instances executed.", m.eqInstances.Load())
 	counter("ps_run_doall_chunks_total", "DOALL chunks dispatched to workers.", m.doallChunks.Load())
 	counter("ps_run_wavefront_planes_total", "Hyperplane launches of wavefront steps.", m.wavefrontPlanes.Load())
 	counter("ps_run_doacross_tiles_total", "Doacross tile instances executed.", m.doacrossTiles.Load())
 	counter("ps_run_doacross_stalls_total", "Doacross workers parked on predecessor tiles.", m.doacrossStalls.Load())
 	counter("ps_run_doacross_steals_total", "Doacross tile instances run by non-home workers.", m.doacrossSteals.Load())
+	counter("ps_run_pipeline_stages_total", "PS-DSWP stages launched by decoupled pipeline steps.", m.pipelineStages.Load())
+	counter("ps_run_stage_stalls_total", "Pipeline stages blocked on starved or backpressured channels.", m.stageStalls.Load())
+	counter("ps_run_specialized_total", "Equation instances executed by specialized kernels.", m.specialized.Load())
+	counter("ps_run_arena_reuses_total", "Activation arrays recycled from the arena.", m.arenaReuses.Load())
+
+	fmt.Fprintf(sb, "# HELP ps_run_wall_us Fused-dispatch wall time in microseconds.\n# TYPE ps_run_wall_us histogram\n")
+	var cumWall int64
+	for i, bound := range m.runWall.bounds {
+		cumWall += m.runWall.buckets[i].Load()
+		fmt.Fprintf(sb, "ps_run_wall_us_bucket{le=\"%d\"} %d\n", bound, cumWall)
+	}
+	cumWall += m.runWall.buckets[len(m.runWall.bounds)].Load()
+	fmt.Fprintf(sb, "ps_run_wall_us_bucket{le=\"+Inf\"} %d\n", cumWall)
+	fmt.Fprintf(sb, "ps_run_wall_us_sum %d\n", m.runWall.sum.Load())
+	fmt.Fprintf(sb, "ps_run_wall_us_count %d\n", m.runWall.count.Load())
 
 	counter("ps_engine_cache_hits_total", "Compile calls served from the program cache.", es.CacheHits)
 	counter("ps_engine_cache_misses_total", "Compile calls that missed the program cache.", es.CacheMisses)

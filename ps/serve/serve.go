@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -56,6 +57,15 @@ type Config struct {
 	// Dir is the program directory served by LoadDir/-based reload:
 	// every *.ps file compiles to a program named after its base name.
 	Dir string
+
+	// EnableTrace allows ?trace=1 on /v1/run: the activation runs
+	// un-batched under a recording Runner.TraceRun, the response carries
+	// the timing breakdown, and GET /v1/trace?id= exports the retained
+	// Chrome trace JSON. Off by default — tracing is opt-in per server.
+	EnableTrace bool
+	// AccessLog, when non-nil, receives one JSON line per request:
+	// request ID, method, path, status, bytes, duration, tenant.
+	AccessLog io.Writer
 }
 
 // withDefaults resolves the zero values.
@@ -91,12 +101,15 @@ func (c Config) withDefaults() Config {
 // Construct with New, serve s.Handler(), and stop with Drain (finish
 // queued and in-flight work, reject new) followed by Close.
 type Server struct {
-	cfg    Config
-	eng    *ps.Engine
-	ownEng bool
-	mux    *http.ServeMux
+	cfg     Config
+	eng     *ps.Engine
+	ownEng  bool
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the access/request-ID envelope
 
 	metrics  *metrics
+	access   *accessLogger
+	traces   *traceStore
 	draining atomic.Bool
 	// inflight counts handleRun calls that have not yet written their
 	// response. A plain atomic (Drain polls it) rather than a
@@ -144,6 +157,8 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		eng:      cfg.Engine,
 		metrics:  newMetrics(),
+		access:   &accessLogger{w: cfg.AccessLog},
+		traces:   newTraceStore(),
 		programs: make(map[string]*servedProgram),
 		tenants:  make(map[string]*tenant),
 		batchers: make(map[string]*batcher),
@@ -154,11 +169,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /explain", s.handleExplain)
 	mux.HandleFunc("POST /reload", s.handleReload)
 	s.mux = mux
+	s.handler = s.withAccess(mux)
 	if cfg.Dir != "" {
 		if _, _, err := s.LoadDir(cfg.Dir); err != nil {
 			if s.ownEng {
@@ -170,8 +187,10 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler: the routes wrapped in the
+// observability envelope (request-ID propagation, per-endpoint latency
+// histograms, structured access logging).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Engine returns the engine the server executes on.
 func (s *Server) Engine() *ps.Engine { return s.eng }
@@ -372,13 +391,17 @@ type runRequest struct {
 	Inputs  map[string]json.RawMessage `json:"inputs"`
 }
 
-// runResponse is the /v1/run success payload.
+// runResponse is the /v1/run success payload. TraceID and Timing are
+// present only on ?trace=1 runs: the ID retrieves the Chrome trace via
+// GET /v1/trace, the breakdown summarizes where worker time went.
 type runResponse struct {
-	Program   string         `json:"program"`
-	Module    string         `json:"module"`
-	Results   map[string]any `json:"results"`
-	BatchSize int            `json:"batch_size"`
-	WallMs    float64        `json:"wall_ms"`
+	Program   string              `json:"program"`
+	Module    string              `json:"module"`
+	Results   map[string]any      `json:"results"`
+	BatchSize int                 `json:"batch_size"`
+	WallMs    float64             `json:"wall_ms"`
+	TraceID   string              `json:"trace_id,omitempty"`
+	Timing    *ps.TimingBreakdown `json:"timing,omitempty"`
 }
 
 // errorResponse is every non-2xx payload.
@@ -442,6 +465,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if ok, retry := t.takeToken(s.cfg.TenantRate, s.cfg.TenantBurst, time.Now()); !ok {
 		s.metrics.rejected.add("quota", 1)
 		s.reject(w, http.StatusTooManyRequests, retrySeconds(retry), fmt.Sprintf("tenant %q over rate quota", tenantName))
+		return
+	}
+	if s.cfg.EnableTrace && r.URL.Query().Get("trace") == "1" {
+		// Traced runs bypass the batcher (a trace wants its own
+		// timeline, not a fused batch's) but paid the quota above.
+		s.runTraced(w, r, sp, req, runner, args, start)
 		return
 	}
 	if !t.tryEnqueue(s.cfg.QueueDepth) {

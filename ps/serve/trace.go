@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/ps"
+)
+
+// maxStoredTraces bounds the retained trace handles; the oldest is
+// evicted when a new traced run lands.
+const maxStoredTraces = 32
+
+// traceStore retains the most recent traced runs' handles, keyed by
+// request ID, for later export through GET /v1/trace.
+type traceStore struct {
+	mu    sync.Mutex
+	byID  map[string]*ps.Trace
+	order []string // insertion order, oldest first
+}
+
+func newTraceStore() *traceStore {
+	return &traceStore{byID: make(map[string]*ps.Trace)}
+}
+
+func (ts *traceStore) put(id string, tr *ps.Trace) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if _, ok := ts.byID[id]; !ok {
+		ts.order = append(ts.order, id)
+		if len(ts.order) > maxStoredTraces {
+			delete(ts.byID, ts.order[0])
+			ts.order = ts.order[1:]
+		}
+	}
+	ts.byID[id] = tr
+}
+
+func (ts *traceStore) get(id string) (*ps.Trace, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	tr, ok := ts.byID[id]
+	return tr, ok
+}
+
+// runTraced executes one ?trace=1 activation: a direct TraceRun on the
+// runner, bypassing the batcher — a traced request wants its own
+// timeline, not a fused batch's — with the trace handle retained under
+// the request ID for GET /v1/trace export. The response carries the
+// handle ID and the aggregated timing breakdown inline.
+func (s *Server) runTraced(w http.ResponseWriter, r *http.Request, sp *servedProgram, req runRequest, runner *ps.Runner, args ps.Args, start time.Time) {
+	ctx := r.Context()
+	if t := s.cfg.RunTimeout; t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	values, stats, tr, err := runner.TraceRun(ctx, args)
+	m := s.metrics
+	m.tracedRuns.Add(1)
+	m.noteRunStats(stats)
+	if err != nil {
+		m.runErrors.Add(1)
+		s.fail(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	m.activations.Add(1)
+	results, err := ps.ResultsToJSON(sp.prog, req.Module, values)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	id := r.Header.Get(requestIDHeader)
+	s.traces.put(id, tr)
+	m.requests.add("200", 1)
+	writeJSON(w, http.StatusOK, runResponse{
+		Program:   req.Program,
+		Module:    req.Module,
+		Results:   results,
+		BatchSize: 1,
+		WallMs:    float64(time.Since(start).Microseconds()) / 1000,
+		TraceID:   id,
+		Timing:    stats.Timing,
+	})
+}
+
+// handleTrace exports a retained trace as Chrome trace-event JSON,
+// loadable in Perfetto and chrome://tracing.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		s.fail(w, http.StatusBadRequest, "id query parameter is required")
+		return
+	}
+	tr, ok := s.traces.get(id)
+	if !ok {
+		s.fail(w, http.StatusNotFound, fmt.Sprintf("no retained trace %q (the server keeps the most recent %d)", id, maxStoredTraces))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if err := tr.WriteChrome(w); err != nil {
+		// Headers are out; nothing more to do.
+		_ = err
+	}
+}

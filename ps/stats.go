@@ -63,6 +63,12 @@ type RunStats struct {
 	Workers int
 	// WallTime is the elapsed time of the activation.
 	WallTime time.Duration
+	// Timing is the per-schedule timing breakdown of the run — compute,
+	// stall, barrier-idle and idle time summed across workers. Only
+	// traced runs (Runner.TraceRun, `psrun -trace`/-stats, serve's
+	// ?trace=1) populate it; plain Run leaves it nil, keeping the
+	// untraced hot path free of recording overhead.
+	Timing *TimingBreakdown
 }
 
 // String renders the stats on one line.

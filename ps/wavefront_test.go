@@ -225,7 +225,11 @@ func TestDoacrossCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const m, maxK = 64, 1 << 18
+	// maxK is sized so the uncancelled sweep runs for seconds yet the
+	// unwindowed (maxK+1)×(m+2)² recurrence array stays well under
+	// 100 MB: a multi-gigabyte backing can spend minutes in first-touch
+	// page faults on a slow VM, swamping the latency being measured.
+	const m, maxK = 64, 1 << 11
 	in := seedGrid(m)
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
@@ -233,12 +237,22 @@ func TestDoacrossCancellation(t *testing.T) {
 		cancel()
 	}()
 	start := time.Now()
-	_, _, err = run.Run(ctx, []any{in, int64(m), int64(maxK)})
+	_, stats, err := run.Run(ctx, []any{in, int64(m), int64(maxK)})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("doacross cancellation took %v", elapsed)
+	}
+	// The sweep has ~2·maxK+m planes; a run that ignored the abort would
+	// execute them all, so finishing with under half proves the executor
+	// bailed mid-flight even if the wall clock is too noisy to.
+	if stats == nil {
+		t.Fatal("cancelled run did not report stats")
+	}
+	if total := int64(2*maxK + m); stats.WavefrontPlanes >= total/2 {
+		t.Fatalf("cancelled run executed %d of ~%d planes: not aborted mid-flight",
+			stats.WavefrontPlanes, total)
 	}
 }
 
@@ -256,7 +270,10 @@ func TestWavefrontCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const m, maxK = 64, 1 << 18
+	// Sized like TestDoacrossCancellation: seconds of sweep, a
+	// recurrence array small enough that first-touch faults cannot
+	// dominate the measured latency.
+	const m, maxK = 64, 1 << 11
 	in := seedGrid(m)
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
@@ -264,11 +281,18 @@ func TestWavefrontCancellation(t *testing.T) {
 		cancel()
 	}()
 	start := time.Now()
-	_, _, err = run.Run(ctx, []any{in, int64(m), int64(maxK)})
+	_, stats, err := run.Run(ctx, []any{in, int64(m), int64(maxK)})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("wavefront cancellation took %v", elapsed)
+	}
+	if stats == nil {
+		t.Fatal("cancelled run did not report stats")
+	}
+	if total := int64(2*maxK + m); stats.WavefrontPlanes >= total/2 {
+		t.Fatalf("cancelled run executed %d of ~%d planes: not aborted mid-flight",
+			stats.WavefrontPlanes, total)
 	}
 }
