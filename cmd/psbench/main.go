@@ -111,6 +111,29 @@ func seedGrid(m int64) *ps.Array {
 	return a
 }
 
+// seedCube builds an (n+1)³ grid over [0,n]³ (the Heat3D domain).
+func seedCube(n int64) *ps.Array {
+	a := ps.NewRealArray(ps.Axis{Lo: 0, Hi: n}, ps.Axis{Lo: 0, Hi: n}, ps.Axis{Lo: 0, Hi: n})
+	for i := int64(0); i <= n; i++ {
+		for j := int64(0); j <= n; j++ {
+			for k := int64(0); k <= n; k++ {
+				a.SetF([]int64{i, j, k}, float64((i*31+j*17+k*7)%19)/19.0)
+			}
+		}
+	}
+	return a
+}
+
+// seedSymbols builds a 1-D int array over [1,n] with a small alphabet,
+// so the edit-distance comparisons hit both matches and mismatches.
+func seedSymbols(n int64) *ps.Array {
+	a := ps.NewIntArray(ps.Axis{Lo: 1, Hi: n})
+	for i := int64(1); i <= n; i++ {
+		a.SetI([]int64{i}, (i*5+3)%4)
+	}
+	return a
+}
+
 // seedSquare builds an n×n grid over [1,n]² (the Reflect domain).
 func seedSquare(n int64) *ps.Array {
 	a := ps.NewRealArray(ps.Axis{Lo: 1, Hi: n}, ps.Axis{Lo: 1, Hi: n})
@@ -190,6 +213,14 @@ func main() {
 			func() []any { return []any{seedGrid(96), int64(96), int64(6)} }},
 		{"wavefront2d", psrc.Wavefront2D, "Wavefront2D",
 			func() []any { return []any{seedGrid(128), int64(128)} }},
+		// The 3-D wavefront: pi = (1,1,1) planes grow and shrink across
+		// the cube, stressing plane-size-dependent dispatch.
+		{"heat3d", psrc.Heat3D, "Heat3D",
+			func() []any { return []any{seedCube(40), int64(40)} }},
+		// The boundary-equation DP wavefront: two boundary DOALLs ahead
+		// of an anti-diagonal interior with integer-sequence reads.
+		{"edit_distance", psrc.EditDistance, "EditDistance",
+			func() []any { return []any{seedSymbols(192), seedSymbols(224), int64(192), int64(224)} }},
 		// The two pipeline-cascade workloads: reflect decouples under the
 		// auto cascade (its reflected-column read defeats the wavefront),
 		// mutual wavefronts under auto and decouples under PipelinePar.

@@ -1,0 +1,90 @@
+// Differential fuzzing: FuzzDifferential drives the psgen generator
+// from the Go fuzz engine — each input picks a seed and an eligibility
+// class, generates a well-typed program targeted at one scheduler
+// cascade backend, and cross-checks every execution variant against
+// the sequential reference (results bitwise, stats invariants, timing
+// identity, panics and hangs). TestFuzzCorpusRegression replays the
+// checked-in testdata/fuzz/ corpus — minimized programs that pinned
+// real divergences, plus one exemplar per class — through the full
+// variant matrix on every tier-1 run, including C parity when a C
+// compiler is present.
+package repro
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/psgen"
+)
+
+func FuzzDifferential(f *testing.F) {
+	for c := 0; c < int(psgen.NumClasses); c++ {
+		f.Add(uint64(c)*17+1, byte(c))
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, class byte) {
+		sp := psgen.Generate(seed, psgen.Class(int(class)%int(psgen.NumClasses)))
+		out := psgen.Check(context.Background(), sp, psgen.Options{
+			Quick:   true,
+			Timeout: 5 * time.Second,
+		})
+		for _, fd := range out.Findings {
+			t.Errorf("%s", fd)
+		}
+		if out.Failed() {
+			t.Fatalf("divergent program (seed=%d class=%s):\n%s", sp.Seed, sp.Class, sp.Render())
+		}
+	})
+}
+
+// TestFuzzCorpusRegression replays every pinned spec in testdata/fuzz/
+// through the full differential matrix. Each .spec.json must render
+// exactly the .ps checked in beside it (the human-readable artifact
+// stays in sync with the replayed spec), and the check must be clean.
+func TestFuzzCorpusRegression(t *testing.T) {
+	specs, err := filepath.Glob(filepath.Join("testdata", "fuzz", "*.spec.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) == 0 {
+		t.Fatal("no specs in testdata/fuzz — the pinned corpus is missing")
+	}
+
+	opts := psgen.Options{Timeout: 20 * time.Second}
+	if !testing.Short() {
+		if cc, err := exec.LookPath("cc"); err == nil {
+			opts.CC, opts.OpenMP = cc, true
+		}
+	}
+
+	for _, path := range specs {
+		path := path
+		name := strings.TrimSuffix(filepath.Base(path), ".spec.json")
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			sp, err := psgen.LoadSpec(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src, err := os.ReadFile(strings.TrimSuffix(path, ".spec.json") + ".ps")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sp.Render() != string(src) {
+				t.Fatalf("%s: checked-in .ps does not match the spec's rendering; regenerate with WriteRepro", name)
+			}
+			o := opts
+			if testing.Short() {
+				o.Quick = true
+			}
+			out := psgen.Check(context.Background(), sp, o)
+			for _, fd := range out.Findings {
+				t.Errorf("%s", fd)
+			}
+		})
+	}
+}

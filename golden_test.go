@@ -89,6 +89,16 @@ func TestGoldenPlanListings(t *testing.T) {
 	// an integer-sequence comparison feeding the recurrence.
 	sw := goldenModule(t, mustRead(t, "testdata/smith_waterman.ps"), "SmithWaterman")
 	checkGolden(t, "smith_waterman_plan.txt", sw.Plan())
+
+	// The 3-D wavefront: the time vector pi = (1,1,1) spans the whole
+	// cube nest.
+	h3 := goldenModule(t, mustRead(t, "testdata/heat3d.ps"), "Heat3D")
+	checkGolden(t, "heat3d_plan.txt", h3.Plan())
+
+	// Region-partitioned DP: boundary-row/column DOALL steps scheduled
+	// ahead of the interior wavefront over the 1 .. N subranges.
+	ed := goldenModule(t, mustRead(t, "testdata/edit_distance.ps"), "EditDistance")
+	checkGolden(t, "edit_distance_plan.txt", ed.Plan())
 }
 
 // TestGoldenPlanCompact pins the one-line Figure 6-style plan of every

@@ -2,6 +2,7 @@ package cgen_test
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -423,4 +424,117 @@ func TestCompiledCMultiKernelWavefrontMatchesInterpreter(t *testing.T) {
 	ccValidate(t, psrc.CoupledGrid, "CoupledGrid", plan.Options{Hyperplane: true},
 		cgen.Options{OpenMP: true, Schedule: sched.PolicyDoacross},
 		[][]string{{"-O2"}, {"-fopenmp", "-O2"}}, 9, 3, true)
+}
+
+// TestGeneratedCMinMaxNaN pins the NaN and signed-zero semantics of
+// real min/max in the generated C. The interpreter evaluates them with
+// Go's math.Min/math.Max, which propagate NaN and order -0 below +0;
+// C's fmin/fmax ignore NaN operands, so the generator must emit its
+// own ps_fmin/ps_fmax helpers instead of calling libm. Structurally
+// the output must define the helpers and never call bare fmin/fmax;
+// behaviourally the compiled code must return NaN for min(x, NaN) and
+// +0 for max(+0, -0), bitwise-matching the interpreter.
+func TestGeneratedCMinMaxNaN(t *testing.T) {
+	src := `
+MinMax: module (A: array[I] of real; N: int):
+    [Lo2: array[I] of real; Hi2: array[I] of real];
+type I = 1 .. N;
+define
+    Lo2[I] = min(A[I], (A[I] - A[I]) / (A[I] - A[I]));
+    Hi2[I] = max(A[I] * 0.0, -(A[I] * 0.0));
+end MinMax;
+`
+	c, _, _ := generate(t, src, "MinMax", cgen.Options{})
+	for _, want := range []string{
+		"static inline double ps_fmin(double a, double b)",
+		"static inline double ps_fmax(double a, double b)",
+		"ps_fmin(", "ps_fmax(",
+	} {
+		if !strings.Contains(c, want) {
+			t.Errorf("generated C missing %q", want)
+		}
+	}
+	for _, banned := range []string{" fmin(", " fmax(", "=fmin(", "=fmax(", " = fmin", " = fmax"} {
+		if strings.Contains(c, banned) {
+			t.Errorf("generated C calls libm %q, which drops NaN operands", strings.TrimLeft(banned, " ="))
+		}
+	}
+
+	ccPath, err := exec.LookPath("cc")
+	if err != nil {
+		t.Skip("no C compiler in PATH")
+	}
+	const n = int64(6)
+	prog, err := parser.ParseProgram("t.ps", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := sem.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := interp.Compile(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := value.NewArray(types.RealKind, []value.Axis{{Lo: 1, Hi: n}})
+	for i := int64(1); i <= n; i++ {
+		in.SetF([]int64{i}, float64(i-3)/4.0)
+	}
+	res, err := ip.Run("MinMax", []any{in, n}, interp.Options{Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	main := fmt.Sprintf(`
+#include <stdio.h>
+int main(void) {
+    long N = %d;
+    double in[%d];
+    for (long i = 0; i < N; i++) in[i] = (double)(i - 2) / 4.0;
+    MinMax_result r = MinMax(in, N);
+    for (long i = 0; i < N; i++)
+        if (isnan(r.Lo2[i])) printf("NaN\n"); else printf("%%.17g\n", r.Lo2[i]);
+    for (long i = 0; i < N; i++)
+        if (isnan(r.Hi2[i])) printf("NaN\n"); else printf("%%.17g\n", r.Hi2[i]);
+    return 0;
+}
+`, n, n)
+	dir := t.TempDir()
+	cFile := filepath.Join(dir, "minmax.c")
+	if err := os.WriteFile(cFile, []byte(c+main), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "minmax")
+	if out, err := exec.Command(ccPath, "-O2", "-o", bin, cFile, "-lm").CombinedOutput(); err != nil {
+		t.Fatalf("cc: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin).Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Fields(strings.TrimSpace(string(out)))
+	if len(lines) != int(2*n) {
+		t.Fatalf("C binary printed %d values, want %d", len(lines), 2*n)
+	}
+	for ri, name := range []string{"Lo2", "Hi2"} {
+		want := res[ri].(*value.Array)
+		for i := int64(1); i <= n; i++ {
+			line := lines[int64(ri)*n+i-1]
+			iv := want.GetF([]int64{i})
+			if line == "NaN" {
+				if !math.IsNaN(iv) {
+					t.Errorf("%s[%d]: C NaN, interpreter %g", name, i, iv)
+				}
+				continue
+			}
+			cv, err := strconv.ParseFloat(line, 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			if math.IsNaN(iv) || math.Float64bits(cv) != math.Float64bits(iv) {
+				t.Errorf("%s[%d]: C %g (%#x), interpreter %g (%#x)", name, i, cv, math.Float64bits(cv), iv, math.Float64bits(iv))
+			}
+		}
+	}
 }

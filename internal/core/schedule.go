@@ -388,6 +388,16 @@ func (s *scheduler) analyzeVirtual(r *types.Subrange, nodes []*depgraph.Node, in
 			default:
 				virtual = false
 			}
+			// A window of planes at this dimension survives only within
+			// one iteration of every enclosing loop: by the time a read
+			// reaches back (or to a fixed plane) along an outer scheduled
+			// dimension, the window has cycled through this dimension's
+			// full extent and recycled the plane it needs. Only reads
+			// that stay at the current iteration of every enclosing
+			// dimension keep the window.
+			if virtual && !s.innerReach(e, pos, n.Rank()) {
+				virtual = false
+			}
 			if !virtual {
 				break
 			}
@@ -409,6 +419,29 @@ func (s *scheduler) analyzeVirtual(r *types.Subrange, nodes []*depgraph.Node, in
 			s.virtual = append(s.virtual, VirtualDim{Sym: n.Sym, Dim: pos, Window: window, Subrange: r})
 		}
 	}
+}
+
+// innerReach reports whether a consumer edge's subscripts at every
+// dimension other than pos keep the read inside the lifetime of a
+// plane window at pos: identity subscripts anywhere, and offset
+// subscripts only at dimensions whose loop is not currently enclosing
+// the analyzed level (those iterate within one window lifetime).
+// Constant-plane subscripts and offsets at enclosing (scheduled)
+// dimensions reach a plane the window has already recycled.
+func (s *scheduler) innerReach(e *depgraph.Edge, pos, rank int) bool {
+	for d := 0; d < rank; d++ {
+		if d == pos {
+			continue
+		}
+		l, has := e.LabelAt(d)
+		if !has || l.Kind == depgraph.SubIdentity {
+			continue
+		}
+		if l.Var == nil || s.scheduled[l.Var] {
+			return false
+		}
+	}
+	return true
 }
 
 func (s *scheduler) fail(nodes []*depgraph.Node, reason string) {

@@ -258,3 +258,48 @@ func asErr(err error, target any) bool {
 	}
 	return false
 }
+
+// TestVirtualWindowOuterReach pins the §3.4 soundness rule for nested
+// windows: a per-dimension window certificate survives only if every
+// consumer read stays at the current iteration of each enclosing
+// scheduled dimension. Here X and Y are mutually recursive over DO I
+// (DO J ...): Y is read at Y[I-1,J] (identity at J, offset at the
+// enclosing I) and at Y[I,J-1]. The I dimension windows legitimately
+// (window 2, reads offset only along I itself), but a J window would
+// be unsound — by the time eq.2 at row I reads Y[I-1,J], a global
+// two-plane J window has cycled through row I-1 and recycled the very
+// plane it needs. The scheduler must certify Y's I window and refuse
+// the J window (and refuse X entirely: its reflected read N+1-J is
+// SubOther at J and reaches across rows at I).
+func TestVirtualWindowOuterReach(t *testing.T) {
+	src := `
+Windows: module (Seed: array[I,J] of real; N: int):
+    [Out: array[I,J] of real];
+type
+    I = 1 .. N;  J = 1 .. N;
+var
+    X: array[I,J] of real;
+    Y: array[I,J] of real;
+define
+    X[I,J] = if (I = 1) or (J = 1) then Seed[I,J]
+             else (X[I-1,J] + Y[I,J-1]) / 2.0;
+    Y[I,J] = if (I = 1) or (J = 1) then 0.5 * Seed[I,J]
+             else (Y[I-1,J] + X[I,J-1] + X[I-1, N+1-J]) / 3.0;
+    Out[I,J] = 1.5 * X[I,J];
+end Windows;
+`
+	m, sched := compile(t, src)
+	var got []core.VirtualDim
+	for _, v := range sched.Virtual {
+		if v.Sym == m.Lookup("X") || v.Sym == m.Lookup("Y") {
+			got = append(got, v)
+		}
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d virtual dimensions on X/Y, want exactly Y's I window: %+v", len(got), got)
+	}
+	v := got[0]
+	if v.Sym != m.Lookup("Y") || v.Dim != 0 || v.Window != 2 {
+		t.Errorf("got virtual %s dim %d window %d, want Y dim 0 window 2", v.Sym.Name, v.Dim, v.Window)
+	}
+}

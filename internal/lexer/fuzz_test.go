@@ -1,6 +1,8 @@
 package lexer_test
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/lexer"
@@ -9,8 +11,23 @@ import (
 
 // FuzzLex drains the token stream for arbitrary input: the lexer must
 // terminate (every Next call makes progress to EOF) and never panic,
-// whatever bytes arrive.
+// whatever bytes arrive. Every checked-in .ps program (testdata/ and
+// the testdata/fuzz/ differential corpus) seeds the run alongside the
+// hand-picked sharp edges.
 func FuzzLex(f *testing.F) {
+	for _, pattern := range []string{"../../testdata/*.ps", "../../testdata/fuzz/*.ps"} {
+		paths, err := filepath.Glob(pattern)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, p := range paths {
+			src, err := os.ReadFile(p)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(string(src))
+		}
+	}
 	for _, seed := range []string{
 		"",
 		"Relaxation: module (InitialA: array[I,J] of real; M: int): [newA: array [I,J] of real];",

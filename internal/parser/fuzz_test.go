@@ -1,6 +1,8 @@
 package parser_test
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/parser"
@@ -8,14 +10,35 @@ import (
 	"repro/internal/sem"
 )
 
+// addTestdataSeeds seeds f with every checked-in .ps program:
+// testdata/ proper and the testdata/fuzz/ differential-fuzzing corpus.
+// New corpus programs become front-end fuzz seeds automatically.
+func addTestdataSeeds(f *testing.F) {
+	f.Helper()
+	for _, pattern := range []string{"../../testdata/*.ps", "../../testdata/fuzz/*.ps"} {
+		paths, err := filepath.Glob(pattern)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, p := range paths {
+			src, err := os.ReadFile(p)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(string(src))
+		}
+	}
+}
+
 // FuzzParse feeds arbitrary source text through the full front end:
 // lexing, parsing and — when a program parses — semantic checking. The
 // invariant is purely "no panic, no hang": malformed input must come
 // back as diagnostics, never as a crash. The seed corpus covers the
-// whole psrc corpus plus inputs shaped like the historical sharp edges
-// (unterminated strings and comments, stray pragmas, deep nesting,
-// half-finished declarations).
+// whole psrc corpus, every checked-in testdata/ program, plus inputs
+// shaped like the historical sharp edges (unterminated strings and
+// comments, stray pragmas, deep nesting, half-finished declarations).
 func FuzzParse(f *testing.F) {
+	addTestdataSeeds(f)
 	for _, seed := range []string{
 		psrc.Relaxation,
 		psrc.RelaxationGS,

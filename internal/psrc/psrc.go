@@ -218,3 +218,49 @@ define
     OutY[I,J] = Y[I,J];
 end Mutual;
 `
+
+// Heat3D is the three-dimensional wavefront workload (also pinned as
+// testdata/heat3d.ps): a Gauss-Seidel-style sweep over a cube whose
+// dependence vectors (1,0,0), (0,1,0), (0,0,1) force the hyperplane
+// analysis to schedule planes of constant I+J+K — the time vector
+// pi = (1,1,1) spans all three dimensions, so plane sizes grow and
+// shrink as the sweep crosses the cube corner to corner.
+const Heat3D = `
+Heat3D: module (G: array[I,J,K] of real; N: int):
+    [Out: array[I,J,K] of real];
+type
+    I = 0 .. N;  J = 0 .. N;  K = 0 .. N;
+define
+    Out[I,J,K] = if (I = 0) or (J = 0) or (K = 0)
+                 then G[I,J,K]
+                 else (Out[I-1,J,K] + Out[I,J-1,K] + Out[I,J,K-1]
+                       + G[I,J,K]) / 4.0;
+end Heat3D;
+`
+
+// EditDistance is the boundary-equation DP workload (also pinned as
+// testdata/edit_distance.ps): Levenshtein distance with the first row
+// and column defined by their own equations over the 1 .. N / 1 .. M2
+// subranges rather than a guard inside the recurrence, so the plan
+// carries two boundary DOALLs ahead of the pi = (1,1) interior
+// wavefront.
+const EditDistance = `
+EditDistance: module (A: array[I1] of int; B: array[J1] of int;
+                      N: int; M2: int):
+    [Dist: array[I,J] of real];
+type
+    I = 0 .. N;   J = 0 .. M2;
+    I1 = 1 .. N;  J1 = 1 .. M2;
+var
+    D: array[I,J] of real;
+define
+    D[0,0] = 0.0;
+    D[I1,0] = float(I1);
+    D[0,J1] = float(J1);
+    D[I1,J1] = min(D[I1-1,J1] + 1.0,
+              min(D[I1,J1-1] + 1.0,
+                  D[I1-1,J1-1]
+                    + (if A[I1] = B[J1] then 0.0 else 1.0)));
+    Dist[I,J] = D[I,J];
+end EditDistance;
+`

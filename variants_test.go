@@ -60,6 +60,19 @@ func gridRange(lo, hi int64) *ps.Array {
 	return a
 }
 
+// grid3D builds an (n+1)³ cube over [0,n]³ (the Heat3D domain).
+func grid3D(n int64) *ps.Array {
+	a := ps.NewRealArray(ps.Axis{Lo: 0, Hi: n}, ps.Axis{Lo: 0, Hi: n}, ps.Axis{Lo: 0, Hi: n})
+	for i := int64(0); i <= n; i++ {
+		for j := int64(0); j <= n; j++ {
+			for k := int64(0); k <= n; k++ {
+				a.SetF([]int64{i, j, k}, float64((i*31+j*17+k*7)%19)/19.0)
+			}
+		}
+	}
+	return a
+}
+
 // intVector builds a 1-D int array over [lo,hi] with small repeating
 // values, so sequence comparisons hit both matches and mismatches.
 func intVector(lo, hi int64) *ps.Array {
@@ -118,6 +131,10 @@ func variantPrograms(t *testing.T) []variantProgram {
 			[]any{grid2D(7), int64(7), int64(3)}},
 		{"testdata/smith_waterman", mustRead(t, "testdata/smith_waterman.ps"), "SmithWaterman",
 			[]any{intVector(0, 9), intVector(0, 12), int64(9), int64(12)}},
+		{"testdata/heat3d", mustRead(t, "testdata/heat3d.ps"), "Heat3D",
+			[]any{grid3D(6), int64(6)}},
+		{"testdata/edit_distance", mustRead(t, "testdata/edit_distance.ps"), "EditDistance",
+			[]any{intVector(1, 8), intVector(1, 11), int64(8), int64(11)}},
 	}
 }
 
@@ -234,6 +251,12 @@ func TestAutoHyperplaneEligibility(t *testing.T) {
 		{"psrc/CoupledGrid", psrc.CoupledGrid, "CoupledGrid", "wavefront", "pi=(1,1)"},
 		{"testdata/fuse_pair", mustRead(t, "testdata/fuse_pair.ps"), "FusePair", "wavefront", "pi=(1,1)"}, // two singleton wavefronts unfused
 		{"testdata/smith_waterman", mustRead(t, "testdata/smith_waterman.ps"), "SmithWaterman", "wavefront", "pi=(1,1)"},
+		// The 3-D positive: the time vector must span all three
+		// dimensions of the cube.
+		{"testdata/heat3d", mustRead(t, "testdata/heat3d.ps"), "Heat3D", "wavefront", "pi=(1,1,1)"},
+		// Boundary equations as their own DOALLs ahead of the interior
+		// anti-diagonal wavefront.
+		{"testdata/edit_distance", mustRead(t, "testdata/edit_distance.ps"), "EditDistance", "wavefront", "pi=(1,1)"},
 		// Re-merge positive: the scheduler splits mutual's component into
 		// two adjacent inner nests; the pre-pass re-merges them and the
 		// union analysis wavefronts the base schedule.
